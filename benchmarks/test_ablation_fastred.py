@@ -1,0 +1,44 @@
+"""E5 — ablation: swap-based vs. addition-based fast reduction.
+
+The paper (Sect. 3.1): on RISC-V the missing carry flag makes the final
+addition of Algorithm 1 expensive, so the swap-based Algorithm 2 wins
+for the full-radix implementation.  Both kernels exist in the registry;
+this experiment measures them head to head on the simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels.runner import KernelRunner
+from repro.kernels.spec import ALL_VARIANTS
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+def test_swap_vs_addition_based(benchmark, kernels, rng, p512, variant):
+    swap = KernelRunner(kernels[f"fast_reduce.{variant}"])
+    addition = KernelRunner(kernels[f"fast_reduce_add.{variant}"])
+    value = rng.randrange(2 * p512)
+
+    swap_run = benchmark(swap.run, value)
+    add_run = addition.run(value)
+    assert swap_run.value == add_run.value == value % p512
+
+    print(f"\n=== E5 ({variant}): swap-based {swap_run.cycles} cycles "
+          f"vs addition-based {add_run.cycles} cycles ===")
+    benchmark.extra_info["swap_cycles"] = swap_run.cycles
+    benchmark.extra_info["addition_cycles"] = add_run.cycles
+    # the paper's claim: swap-based is the faster option on RISC-V
+    assert swap_run.cycles < add_run.cycles
+
+
+def test_addition_based_penalty_is_the_carry_chain(kernels):
+    """The instruction-count gap comes from the carried adds: the
+    addition-based kernel has ~2 extra instructions per digit."""
+    swap = kernels["fast_reduce.full.isa"]
+    addition = kernels["fast_reduce_add.full.isa"]
+    swap_count = sum(swap.static_counts.values())
+    add_count = sum(addition.static_counts.values())
+    digits = swap.context.radix.limbs
+    assert add_count - swap_count >= digits
+    assert addition.static_counts["sltu"] > swap.static_counts["sltu"]

@@ -1,0 +1,72 @@
+"""E13 — ablation: why 57 bits per limb?
+
+The paper picks radix 2^57 for the reduced representation without a
+sweep.  This experiment reproduces the tradeoff at the word-operation
+level (the reference MPI layer is fully radix-generic):
+
+* fewer bits per limb => more limbs => quadratically more MACs;
+* 57..62 bits all give 9 limbs for a 511-bit prime, so the MAC count is
+  flat there — but headroom shrinks from 7 bits to 2, limiting how many
+  delayed-carry additions fit before a canonicalisation pass;
+* at 64 bits (full radix) delayed carries vanish entirely.
+
+57 = 64 - 7 is the largest width that keeps 9 limbs *and* at least
+seven headroom bits (supporting ~2^7 deferred accumulations — enough
+for the 9-limb product-scanning columns and the Fp-add chains).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.arithmetic import product_scanning_mul
+from repro.mpi.representation import reduced_radix_for
+
+_ISA_MAC_COST = 6          # Listing 2
+_ALIGN_COST_PER_COLUMN = 5  # mask/store/realign
+
+
+def _mul_cost_model(bits: int, prime_bits: int = 511) -> tuple[int, int]:
+    """(limbs, estimated instruction cost) of one 511-bit multiply."""
+    radix = reduced_radix_for(prime_bits, bits)
+    one = radix.to_limbs(1)
+    work = product_scanning_mul(radix, one, one).work
+    columns = 2 * radix.limbs - 1
+    cost = work.macs * _ISA_MAC_COST + columns * _ALIGN_COST_PER_COLUMN
+    return radix.limbs, cost
+
+
+def test_radix_sweep(benchmark):
+    sweep = benchmark(
+        lambda: {bits: _mul_cost_model(bits) for bits in range(50, 64)})
+    print("\n=== E13: limb-width sweep (511-bit multiply) ===")
+    print(f"{'bits':>5s}{'limbs':>7s}{'est. instr':>12s}{'headroom':>10s}")
+    for bits, (limbs, cost) in sweep.items():
+        print(f"{bits:>5d}{limbs:>7d}{cost:>12d}{64 - bits:>10d}")
+
+    # 57 bits is on the 9-limb plateau ...
+    assert sweep[57][0] == 9
+    # ... which beats every 10-limb width
+    assert all(sweep[57][1] < sweep[bits][1] for bits in range(50, 57))
+    # ... and within the plateau the cost is flat, so headroom decides:
+    assert sweep[57][1] == sweep[62][1]
+
+
+def test_headroom_requirement():
+    """9-limb product-scanning columns accumulate up to 9 products, so
+    the high accumulator word grows by up to log2(9) < 4 bits beyond a
+    single product — 57-bit limbs (7 headroom bits) cover this with
+    margin, while 62-bit limbs (2 bits) would overflow the paper's
+    delayed-carry Fp-addition chains after 3 deferred additions."""
+    deferred_adds_57 = 2 ** (64 - 57 - 1)  # sums of 57+1-bit limbs
+    deferred_adds_62 = 2 ** (64 - 62 - 1)
+    assert deferred_adds_57 >= 9 > deferred_adds_62
+
+
+def test_full_radix_is_the_mac_minimum():
+    """64-bit digits minimise MACs outright (8x8) — the reason the
+    ISA-only comparison favours full radix (Table 4, left columns)."""
+    limbs_57, _ = _mul_cost_model(57)
+    assert limbs_57 == 9
+    from repro.mpi.representation import full_radix_for
+    assert full_radix_for(511).limbs == 8

@@ -1,0 +1,48 @@
+"""Supporting analysis — where the CSIDH-512 field work goes.
+
+Prints the per-phase breakdown of one group action (sampling/Legendre,
+cofactor ladders, kernel ladders, isogenies, normalisation) plus the
+derived curve-operation cycle costs — the intermediate layer between
+Table 4 and the group-action row.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.csidh.breakdown import group_action_breakdown
+from repro.eval.curveops import curve_op_costs
+
+
+def test_csidh512_phase_breakdown(benchmark, params512):
+    key = params512.sample_private_key(random.Random(8))
+
+    breakdown = benchmark.pedantic(
+        group_action_breakdown, args=(params512, key),
+        kwargs={"seed": 9}, rounds=1, iterations=1)
+
+    print("\n=== CSIDH-512 group action, field work by phase ===")
+    print(breakdown.report())
+
+    fractions = breakdown.fractions()
+    # scalar multiplications + quadraticity tests carry the bulk
+    assert (fractions["cofactor"] + fractions["kernel"]
+            + fractions["sampling"]) > 0.5
+    # the per-round normalisation (one inversion each) stays secondary
+    assert fractions["normalise"] < 0.35
+    # everything accounted for
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+
+def test_curve_op_layer(benchmark, table4):
+    costs = benchmark(curve_op_costs, table4)
+    print("\n=== curve-operation cycle costs (from measured Table 4) "
+          "===")
+    print(costs.render())
+    ladder_full = costs.ladder_cost("full.isa", 511)
+    ladder_ise = costs.ladder_cost("reduced.ise", 511)
+    print(f"511-bit ladder: {ladder_full:,} -> {ladder_ise:,} cycles "
+          f"({ladder_full / ladder_ise:.2f}x)")
+    assert ladder_ise < ladder_full

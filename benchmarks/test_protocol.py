@@ -1,0 +1,66 @@
+"""E8 — end-to-end protocol: key exchange and the simulator-hosted run.
+
+The abstract claim being exercised: CSIDH "can serve as a drop-in
+replacement for the (EC)DH key-exchange protocol".  Two benchmarks:
+
+* a full key exchange on the mini parameter set (pure Python field);
+* a toy group action where *every field operation executes on the RV64
+  simulator through the reduced-radix ISE kernels* — the complete
+  hardware/software stack in one run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.csidh.group_action import group_action
+from repro.csidh.parameters import csidh_toy
+from repro.csidh.protocol import Csidh, key_exchange_demo
+from repro.field.fp import FieldContext
+from repro.field.simulated import SimulatedFieldContext
+
+
+def test_key_exchange_mini(benchmark, params_mini):
+    secret_a, secret_b = benchmark(key_exchange_demo, params_mini,
+                                   seed=11)
+    assert secret_a == secret_b
+    print(f"\n=== E8: CSIDH-mini shared secret agreed: "
+          f"{secret_a} ===")
+
+
+def test_key_exchange_csidh512_public_key(benchmark, params512):
+    """One real CSIDH-512 public-key computation (pure Python field —
+    the simulator-free path a library user would take)."""
+    party = Csidh(params512, seed=3)
+    private = party.generate_private_key()
+
+    public = benchmark.pedantic(party.public_key, args=(private,),
+                                rounds=1, iterations=1)
+    assert 0 < public.coefficient < params512.p
+    print(f"\n=== E8: CSIDH-512 public key: "
+          f"{public.coefficient:#x} ===")
+
+
+@pytest.mark.parametrize("variant", ["reduced.ise", "full.isa"])
+def test_toy_group_action_on_simulator(benchmark, variant):
+    """The zero-stub integration: protocol -> isogenies -> field kernels
+    -> custom instructions -> pipeline model, end to end."""
+    params = csidh_toy()
+    exponents = (1, -1, 1)
+
+    def run():
+        field = SimulatedFieldContext(params.p, variant=variant)
+        a = group_action(params, field, 0, exponents,
+                         random.Random(3))
+        return a, field
+
+    a, field = benchmark.pedantic(run, rounds=1, iterations=1)
+    reference = group_action(params, FieldContext(params.p), 0,
+                             exponents, random.Random(1))
+    assert a == reference
+    print(f"\n=== E8 ({variant}): toy action on the simulator: "
+          f"{field.simulated_instructions} instructions, "
+          f"{field.simulated_cycles} cycles ===")
+    assert field.simulated_instructions > 10_000

@@ -1,0 +1,137 @@
+"""E9 — scaling: do the ISEs keep paying off beyond CSIDH-512?
+
+The paper's introduction positions the proposal as ISEs for *flexible
+(i.e., scalable) MPI arithmetic*, and Sect. 2 lists CSIDH-1024/1792 as
+the larger instantiations.  The kernel generators are parametric in the
+operand width (beyond ~640 bits they switch to operand-streaming code,
+since the register file no longer holds both operands); this experiment
+regenerates the Fp-multiplication row at 512 and ~1024 bits.
+
+Expected shape: the MAC count grows quadratically while the
+carry/bookkeeping overhead grows linearly, so the relative ISE benefit
+*increases* with the operand width.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.csidh.parameters import csidh_1024_like
+from repro.kernels.registry import build_kernel, make_contexts
+from repro.kernels.runner import KernelRunner
+from repro.kernels.spec import ALL_VARIANTS
+
+
+@pytest.fixture(scope="module")
+def p1024():
+    return csidh_1024_like().p
+
+
+@pytest.fixture(scope="module")
+def contexts1024(p1024):
+    return make_contexts(p1024)
+
+
+def _measure_fp_mul(modulus, contexts, rng) -> dict[str, int]:
+    cycles = {}
+    for variant in ALL_VARIANTS:
+        ctx = contexts[0] if variant.startswith("full.") else contexts[1]
+        kernel = build_kernel("fp_mul", variant, ctx)
+        runner = KernelRunner(kernel)
+        cycles[variant] = runner.run(*kernel.sampler(rng)).cycles
+    return cycles
+
+
+def test_fp_mul_scaling(benchmark, p512, p1024, contexts1024, rng):
+    from repro.kernels.registry import make_contexts as mk
+
+    c512 = _measure_fp_mul(p512, mk(p512), rng)
+    c1024 = benchmark.pedantic(
+        _measure_fp_mul, args=(p1024, contexts1024, rng),
+        rounds=1, iterations=1)
+
+    s512 = c512["full.isa"] / c512["reduced.ise"]
+    s1024 = c1024["full.isa"] / c1024["reduced.ise"]
+    print(f"\n=== E9: Fp-mul cycles 512-bit {c512} ===")
+    print(f"=== E9: Fp-mul cycles 1024-bit {c1024} ===")
+    print(f"=== E9: reduced-ISE speedup {s512:.2f}x @512 -> "
+          f"{s1024:.2f}x @1024 ===")
+    # the ISE benefit grows with the operand width
+    assert s1024 > s512 > 1.5
+    # and the radix reversal persists at 1024 bits
+    assert c1024["reduced.ise"] < c1024["full.ise"]
+    assert c1024["full.isa"] < c1024["reduced.isa"]
+
+
+def test_streaming_kernels_verify_at_1024(contexts1024, rng):
+    """Functional check of the operand-streaming code paths (every run
+    is compared against the big-integer reference)."""
+    full, reduced = contexts1024
+    assert full.radix.limbs == 16 and reduced.radix.limbs == 18
+    for op in ("int_mul", "int_sqr", "mont_redc", "fp_add", "fp_sub"):
+        for variant in ("full.isa", "reduced.ise"):
+            ctx = full if variant.startswith("full.") else reduced
+            kernel = build_kernel(op, variant, ctx)
+            runner = KernelRunner(kernel)
+            for _ in range(2):
+                runner.run(*kernel.sampler(rng))
+
+
+def test_cycles_scale_quadratically(p512, p1024, rng):
+    """int_mul cycles should grow ~4x from 512 to 1024 bits (MAC count
+    64 -> 256), while fp_add grows only ~2x (linear)."""
+    from repro.kernels.registry import make_contexts as mk
+
+    full512 = mk(p512)[0]
+    full1024 = mk(p1024)[0]
+    mul512 = build_kernel("int_mul", "full.isa", full512)
+    mul1024 = build_kernel("int_mul", "full.isa", full1024)
+    add512 = build_kernel("fp_add", "full.isa", full512)
+    add1024 = build_kernel("fp_add", "full.isa", full1024)
+
+    mul_ratio = (KernelRunner(mul1024).run(*mul1024.sampler(rng)).cycles
+                 / KernelRunner(mul512).run(*mul512.sampler(rng)).cycles)
+    add_ratio = (KernelRunner(add1024).run(*add1024.sampler(rng)).cycles
+                 / KernelRunner(add512).run(*add512.sampler(rng)).cycles)
+    print(f"\n=== E9: 1024/512 cycle ratios: int_mul {mul_ratio:.1f}x "
+          f"(quadratic), fp_add {add_ratio:.1f}x (linear) ===")
+    assert 3.3 < mul_ratio < 6.0
+    assert 1.5 < add_ratio < 3.0
+
+
+def test_group_action_speedup_at_1024(benchmark, p1024, contexts1024,
+                                      rng):
+    """Compose a full ~1024-bit group action: instrumented op counts x
+    measured 1024-bit kernel costs.  The headline speedup grows with
+    the security level — the forward-looking claim behind the paper's
+    CSIDH-1024/1792 mention."""
+    import random
+
+    from repro.csidh.opcount import count_group_action
+    from repro.csidh.parameters import csidh_1024_like
+    from repro.field.counters import OpCosts
+
+    params = csidh_1024_like()
+    key = params.sample_private_key(random.Random(3))
+
+    profile = benchmark.pedantic(
+        count_group_action, args=(params, key),
+        kwargs={"seed": 5}, rounds=1, iterations=1)
+
+    costs = {}
+    for variant in ("full.isa", "reduced.ise"):
+        ctx = contexts1024[0] if variant.startswith("full.") \
+            else contexts1024[1]
+        per_op = {}
+        for op in ("fp_mul", "fp_sqr", "fp_add", "fp_sub"):
+            kernel = build_kernel(op, variant, ctx)
+            per_op[op] = KernelRunner(kernel).run(
+                *kernel.sampler(rng)).cycles
+        costs[variant] = OpCosts.from_mapping(per_op, label=variant)
+
+    cycles = {v: profile.ops.cycles(c) for v, c in costs.items()}
+    speedup = cycles["full.isa"] / cycles["reduced.ise"]
+    print(f"\n=== E9: ~1024-bit group action: "
+          f"{cycles['full.isa']:,} -> {cycles['reduced.ise']:,} "
+          f"cycles, speedup {speedup:.2f}x (512-bit: ~1.76x) ===")
+    assert speedup > 1.75

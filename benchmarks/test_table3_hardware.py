@@ -1,0 +1,60 @@
+"""E1 — Table 3: hardware cost of the base core and both extended cores.
+
+Regenerates the LUT/Reg/DSP/CMOS table from the structural area model
+and prints it next to the paper's synthesis results.
+"""
+
+from __future__ import annotations
+
+from repro.eval.paperdata import PAPER_TABLE3
+from repro.eval.table3 import (
+    measure_table3,
+    model_matches_paper,
+    overhead_summary,
+    render_table3,
+)
+
+
+def test_table3_regeneration(benchmark):
+    rows = benchmark(measure_table3)
+    assert [row.key for row in rows] == ["base", "full", "reduced"]
+    print("\n=== E1 / Table 3: hardware cost (model vs. paper) ===")
+    print(render_table3())
+
+
+def test_table3_overheads_match_headline(benchmark):
+    summary = benchmark(overhead_summary)
+    print("\n=== E1: relative overheads (paper: ~4-9% LUTs, 9-11% Regs,"
+          " ~10% overall) ===")
+    for key, pct in summary.items():
+        print(f"{key:8s} LUTs {pct['luts']:+5.1f}%  "
+              f"Regs {pct['regs']:+5.1f}%  DSPs {pct['dsps']:+5.1f}%  "
+              f"CMOS {pct['gates']:+5.1f}%")
+    assert summary["full"]["dsps"] == 0
+    assert summary["reduced"]["luts"] > summary["full"]["luts"]
+
+
+def test_table3_absolute_agreement(benchmark):
+    assert benchmark(model_matches_paper, tolerance=0.15)
+    for row in measure_table3():
+        paper = PAPER_TABLE3[row.key]
+        got = row.tuple
+        rel = [abs(g - w) / w for g, w in zip(got, paper) if w]
+        print(f"{row.key:8s} max deviation from paper: "
+              f"{100 * max(rel):.1f}%")
+
+
+def test_e12_xmul_does_not_extend_critical_path(benchmark):
+    """Sect 3.3: XMUL keeps the 50 MHz clock — its stage-2 logic stays
+    shallower than the base multiplier array stage."""
+    from repro.hw.timing import (
+        base_multiplier_stage,
+        critical_path_report,
+        xmul_extends_critical_path,
+    )
+
+    extends = benchmark(xmul_extends_critical_path)
+    print(f"\n=== E12: stage delays (ns): {critical_path_report()} "
+          f"(budget: 20 ns @ 50 MHz) ===")
+    assert not extends
+    assert base_multiplier_stage().meets()

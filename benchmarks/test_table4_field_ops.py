@@ -1,0 +1,43 @@
+"""E2 — Table 4 rows 1-8: cycle counts of the field-arithmetic kernels.
+
+Each benchmark runs one kernel variant on the ISA simulator under the
+Rocket timing model; the simulated cycle counts (the paper's metric)
+are printed as the regenerated table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.paperdata import PAPER_TABLE4
+from repro.eval.table4 import render_table4
+from repro.kernels.runner import KernelRunner
+from repro.kernels.spec import ALL_VARIANTS, TABLE4_OPERATIONS
+
+
+@pytest.mark.parametrize("operation", TABLE4_OPERATIONS)
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+def test_kernel_cycles(benchmark, kernels, rng, operation, variant):
+    kernel = kernels[f"{operation}.{variant}"]
+    runner = KernelRunner(kernel)
+    values = kernel.sampler(rng)
+
+    run = benchmark(runner.run, *values)
+
+    paper = PAPER_TABLE4[operation][variant]
+    benchmark.extra_info["simulated_cycles"] = run.cycles
+    benchmark.extra_info["paper_cycles"] = paper
+    benchmark.extra_info["instructions"] = run.instructions
+    # shape guard: within 2x of the paper's absolute cell
+    assert 0.5 < run.cycles / paper < 2.0
+
+
+def test_render_full_table4(table4):
+    print("\n=== E2 / Table 4 rows 1-8: cycles per operation "
+          "(ours vs. paper) ===")
+    print(render_table4(table4))
+    # the central reversal: ISEs make reduced radix the faster choice
+    assert table4.cycles["fp_mul"]["reduced.ise"] \
+        < table4.cycles["fp_mul"]["full.ise"]
+    assert table4.cycles["fp_mul"]["full.isa"] \
+        < table4.cycles["fp_mul"]["reduced.isa"]

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Generate the full reproduction report (REPORT.md).
+
+Runs every evaluation component — Table 3 from the area model, Table 4
+on the simulator, the group-action composition, the listing counts and
+the critical-path check — and writes one self-contained markdown
+document, plus the phase breakdown of where the group action's field
+work goes.
+"""
+
+import time
+
+from repro.csidh.breakdown import group_action_breakdown
+from repro.csidh.parameters import csidh_mini
+from repro.eval.report import generate_report
+
+
+def main() -> None:
+    t0 = time.perf_counter()
+    print("running the full evaluation (simulator + protocol) ...")
+    report = generate_report(keys=2, seed=7)
+
+    breakdown = group_action_breakdown(
+        csidh_mini(), (3, -2, 1, 0, 2, -1, 3), seed=1)
+    extra = (
+        "\n\n## Where the group action's field work goes "
+        "(CSIDH-mini illustration)\n\n```\n"
+        + breakdown.report() + "\n```\n"
+    )
+
+    with open("REPORT.md", "w", encoding="utf-8") as handle:
+        handle.write(report.to_markdown() + extra)
+
+    speedup = report.group_action.speedup["reduced.ise"]
+    print(f"done in {time.perf_counter() - t0:.1f}s")
+    print(f"headline speedup: {speedup:.2f}x (paper: 1.71x)")
+    print("report written to REPORT.md")
+
+
+if __name__ == "__main__":
+    main()

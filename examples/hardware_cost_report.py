@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Hardware cost report: Table 3 from the structural area model.
+
+Prints the base Rocket core budget, the itemised XMUL structures of
+both ISE variants, and the composed totals next to the paper's Vivado
+synthesis results.
+"""
+
+from repro.eval.paperdata import PAPER_TABLE3
+from repro.eval.table3 import overhead_summary, render_table3
+from repro.hw import ROCKET_BLOCKS
+from repro.hw.xmul import full_radix_parts, reduced_radix_parts
+
+
+def main() -> None:
+    print("base core block budget (calibrated to the paper's "
+          "baseline):\n")
+    print(f"  {'block':12s}{'LUTs':>7s}{'Regs':>7s}{'DSPs':>6s}"
+          f"{'CMOS':>9s}")
+    for block in ROCKET_BLOCKS:
+        a = block.area
+        print(f"  {block.name:12s}{a.luts:>7.0f}{a.regs:>7.0f}"
+              f"{a.dsps:>6.0f}{a.gates:>9.0f}  # {block.description}")
+
+    for label, parts in (("full-radix", full_radix_parts()),
+                         ("reduced-radix", reduced_radix_parts())):
+        print(f"\nXMUL extension structures ({label}):\n")
+        for part in parts:
+            a = part.area
+            print(f"  {part.name:44s}{a.luts:>6.0f} LUT "
+                  f"{a.regs:>5.0f} FF {a.gates:>8.0f} GE")
+
+    print("\n" + render_table3())
+
+    print("\nrelative overheads (the paper's ~10% headline):")
+    for key, pct in overhead_summary().items():
+        print(f"  {key:8s} LUTs {pct['luts']:+5.1f}%  "
+              f"Regs {pct['regs']:+5.1f}%  CMOS {pct['gates']:+5.1f}%")
+
+    print("\npaper reference points:", PAPER_TABLE3)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble and run ISE-accelerated code on the simulator.
+
+Demonstrates the core loop of the library in under a minute:
+
+1. write RV64 assembly that uses the paper's custom instructions;
+2. assemble it for the extended ISA;
+3. run it on the simulated Rocket core and read cycle counts;
+4. compare against the ISA-only equivalent.
+"""
+
+from repro.core import EXTENDED_ISA
+from repro.core.macros import mac_full_radix_isa, mac_full_radix_ise
+from repro.rv64 import Machine, PipelineModel, assemble
+
+A = 0xFFFFFFFFFFFFFFFF
+B = 0xFEDCBA9876543210
+
+
+def run(source: str) -> tuple[int, int, int]:
+    """Assemble + execute; returns (accumulator, instructions, cycles)."""
+    machine = Machine(EXTENDED_ISA, pipeline=PipelineModel())
+    entry = machine.load_program(assemble(source + "\nret\n",
+                                          EXTENDED_ISA))
+    machine.regs["a0"], machine.regs["a1"] = A, B
+    result = machine.run(entry)
+    acc = ((machine.regs["s2"] << 128) | (machine.regs["s1"] << 64)
+           | machine.regs["s0"])
+    return acc, result.instructions_retired, result.cycles
+
+
+def main() -> None:
+    # one multiply-accumulate (e || h || l) += a * b, both ways
+    isa_source = "\n".join(
+        mac_full_radix_isa("s2", "s1", "s0", "a0", "a1", "t0", "t1"))
+    ise_source = "\n".join(
+        mac_full_radix_ise("s2", "s1", "s0", "a0", "a1", "t0"))
+
+    isa_acc, isa_instrs, isa_cycles = run(isa_source)
+    ise_acc, ise_instrs, ise_cycles = run(ise_source)
+
+    assert isa_acc == ise_acc == A * B
+    print("192-bit MAC:  (e || h || l) += a * b")
+    print(f"  ISA-only (Listing 1): {isa_instrs - 1} instructions, "
+          f"{isa_cycles} cycles")
+    print(f"  ISE      (Listing 3): {ise_instrs - 1} instructions, "
+          f"{ise_cycles} cycles")
+    print(f"  accumulator value: {isa_acc:#x}")
+    print()
+    print("The paper's claim — the custom maddlu/maddhu/cadd halve the")
+    print("full-radix MAC from 8 to 4 instructions — reproduced live.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Run a complete toy-CSIDH group action ON the simulated RISC-V core.
+
+Every field multiplication, squaring, addition and subtraction of the
+class group action executes as real encoded instructions on the RV64
+simulator — through the reduced-radix ISE kernels on the extended core,
+and through the plain RV64IM kernels on the base core — demonstrating
+the full co-design stack with zero stubs.
+
+(The toy prime p = 419 keeps this tractable; the 511-bit group action
+would need ~5*10^8 simulated instructions.)
+"""
+
+import random
+import time
+
+from repro.csidh import csidh_toy, group_action
+from repro.field import FieldContext, SimulatedFieldContext
+
+EXPONENTS = (2, -1, 1)
+
+
+def main() -> None:
+    params = csidh_toy()
+    print(f"{params.name}: p = {params.p}, degrees {params.ells}, "
+          f"exponents {EXPONENTS}\n")
+
+    reference = group_action(params, FieldContext(params.p), 0,
+                             EXPONENTS, random.Random(0))
+    print(f"pure-Python reference action: A = {reference}\n")
+
+    for variant in ("full.isa", "reduced.ise"):
+        field = SimulatedFieldContext(params.p, variant=variant)
+        t0 = time.perf_counter()
+        result = group_action(params, field, 0, EXPONENTS,
+                              random.Random(0))
+        dt = time.perf_counter() - t0
+        assert result == reference
+        ops = field.counter
+        print(f"[{variant}] A = {result}  "
+              f"({ops.mul} mul, {ops.sqr} sqr, {ops.add} add, "
+              f"{ops.sub} sub)")
+        print(f"  simulated: {field.simulated_instructions} "
+              f"instructions, {field.simulated_cycles} cycles "
+              f"(host time {dt:.1f}s)")
+        print()
+
+    print("both cores compute the same class-group action; the")
+    print("extended core does it in fewer simulated cycles.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro — reproduction of the DAC'24 paper "RISC-V Instruction Set
+Extensions for Multi-Precision Integer Arithmetic: A Case Study on
+Post-Quantum Key Exchange Using CSIDH-512".
+
+Public API highlights:
+
+* ``repro.core`` — the proposed ISEs (semantics, encodings, MAC macros);
+* ``repro.rv64`` — RV64 functional simulator + Rocket-like timing model;
+* ``repro.mpi`` — reference multi-precision arithmetic;
+* ``repro.kernels`` — generated assembly kernels (4 variants);
+* ``repro.field`` — F_p layer with operation counters;
+* ``repro.csidh`` — CSIDH-512 group action and key exchange;
+* ``repro.hw`` — hardware area model (Table 3);
+* ``repro.eval`` — table/figure regeneration harness.
+"""
+
+__version__ = "1.0.0"

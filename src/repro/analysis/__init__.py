@@ -1,0 +1,33 @@
+"""Analysis tools: constant-time verification, static kernel profiling,
+and the list scheduler used by the scheduling ablation (E10)."""
+
+from repro.analysis.ct import (
+    CtReport,
+    ExecutionTrace,
+    boundary_inputs,
+    trace_execution,
+    verify_constant_time,
+)
+from repro.analysis.schedule import schedule, schedule_source
+from repro.analysis.static import (
+    KernelProfile,
+    MAC_MNEMONICS,
+    compare_profiles,
+    profile_kernel,
+    profile_program,
+)
+
+__all__ = [
+    "CtReport",
+    "ExecutionTrace",
+    "boundary_inputs",
+    "trace_execution",
+    "verify_constant_time",
+    "schedule",
+    "schedule_source",
+    "KernelProfile",
+    "MAC_MNEMONICS",
+    "compare_profiles",
+    "profile_kernel",
+    "profile_program",
+]

@@ -1,0 +1,135 @@
+"""Constant-time verification of generated kernels.
+
+The paper stresses that its F_p assembly functions are *constant time*.
+For straight-line code on an in-order core, constant-time execution is
+equivalent to two trace properties being input-independent:
+
+1. the **instruction trace** (sequence of program-counter values) —
+   no secret-dependent branches;
+2. the **memory-address trace** — no secret-dependent table lookups.
+
+:func:`verify_constant_time` executes a kernel on a set of operand
+vectors, records both traces, and reports whether they coincide; since
+the timing model is a deterministic function of those traces (plus
+cache state, which the address trace pins), equal traces imply equal
+cycle counts for all inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.kernels.spec import Kernel
+from repro.kernels.runner import KernelRunner
+from repro.rv64.machine import Machine
+
+
+@dataclass
+class ExecutionTrace:
+    """PC and memory-address traces of one kernel execution."""
+
+    pcs: list[int] = field(default_factory=list)
+    addresses: list[int | None] = field(default_factory=list)
+    cycles: int = 0
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+
+@dataclass(frozen=True)
+class CtReport:
+    """Outcome of a constant-time check."""
+
+    kernel_name: str
+    samples: int
+    constant_time: bool
+    first_divergence: int | None = None  # instruction index
+    detail: str = ""
+
+
+def trace_execution(runner: KernelRunner, values: tuple[int, ...],
+                    *, check: bool = True) -> ExecutionTrace:
+    """Run the kernel once, recording pc and memory-address streams."""
+    trace = ExecutionTrace()
+    machine: Machine = runner.machine
+
+    def hook(state, ins) -> None:
+        trace.pcs.append(state.pc)
+        trace.addresses.append(state.last_address)
+
+    machine.add_trace_hook(hook)
+    try:
+        run = runner.run(*values, check=check)
+    finally:
+        machine._trace_hooks.remove(hook)
+    trace.cycles = run.cycles
+    return trace
+
+
+def _compare(a: ExecutionTrace, b: ExecutionTrace) -> int | None:
+    """Index of the first divergence between two traces, else None."""
+    if len(a) != len(b):
+        return min(len(a), len(b))
+    for index, (pa, pb) in enumerate(zip(a.pcs, b.pcs)):
+        if pa != pb:
+            return index
+    for index, (aa, ab) in enumerate(zip(a.addresses, b.addresses)):
+        if aa != ab:
+            return index
+    return None
+
+
+def verify_constant_time(
+    kernel: Kernel,
+    *,
+    samples: int = 6,
+    seed: int = 0xC0117,
+    extra_inputs: list[tuple[int, ...]] | None = None,
+) -> CtReport:
+    """Check that *kernel*'s traces are identical across inputs.
+
+    Draws *samples* random operand vectors from the kernel's sampler
+    (plus any *extra_inputs*, e.g. adversarial corner cases) and
+    compares every execution's traces against the first.
+    """
+    rng = random.Random(seed)
+    runner = KernelRunner(kernel)
+    inputs = [kernel.sampler(rng) for _ in range(samples)]
+    inputs.extend(extra_inputs or [])
+
+    reference = trace_execution(runner, inputs[0])
+    for values in inputs[1:]:
+        trace = trace_execution(runner, values)
+        divergence = _compare(reference, trace)
+        if divergence is not None:
+            return CtReport(
+                kernel_name=kernel.name,
+                samples=len(inputs),
+                constant_time=False,
+                first_divergence=divergence,
+                detail=(
+                    f"trace diverges at instruction {divergence} "
+                    f"for inputs {[hex(v) for v in values]}"
+                ),
+            )
+        if trace.cycles != reference.cycles:
+            return CtReport(
+                kernel_name=kernel.name,
+                samples=len(inputs),
+                constant_time=False,
+                detail=(
+                    f"cycle count varies: {reference.cycles} vs "
+                    f"{trace.cycles}"
+                ),
+            )
+    return CtReport(kernel_name=kernel.name, samples=len(inputs),
+                    constant_time=True)
+
+
+def boundary_inputs(kernel: Kernel) -> list[tuple[int, ...]]:
+    """Adversarial operand vectors: zeros, ones, p-1, all-ones limbs."""
+    p = kernel.context.modulus
+    arity = len(kernel.input_limbs)
+    singles = [0, 1, p - 1, p // 2]
+    return [tuple(value for _ in range(arity)) for value in singles]

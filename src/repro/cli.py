@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table3`` — regenerate the hardware-cost table;
+* ``table4`` — regenerate the cycle table (runs the simulator);
+* ``action`` — compose the CSIDH-512 group-action cycles/speedups;
+* ``exchange`` — run a key exchange (mini params by default);
+* ``report`` — full markdown reproduction report;
+* ``kernel`` — dump one generated kernel's assembly;
+* ``listings`` — print the MAC listings with instruction counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.csidh.parameters import csidh_512, csidh_mini, csidh_toy
+
+_PARAM_SETS = {
+    "csidh-512": csidh_512,
+    "mini": csidh_mini,
+    "toy": csidh_toy,
+}
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.eval.table3 import overhead_summary, render_table3
+
+    print(render_table3(include_paper=not args.no_paper))
+    for key, pct in overhead_summary().items():
+        print(f"{key:8s} LUTs {pct['luts']:+5.1f}%  "
+              f"Regs {pct['regs']:+5.1f}%  CMOS {pct['gates']:+5.1f}%")
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    from repro.eval.table4 import measure_table4, render_table4
+
+    params = _PARAM_SETS[args.params]()
+    table = measure_table4(params.p)
+    print(render_table4(table, include_paper=not args.no_paper))
+    return 0
+
+
+def _cmd_action(args: argparse.Namespace) -> int:
+    from repro.eval.groupaction import evaluate_group_action
+    from repro.eval.table4 import measure_table4
+
+    params = _PARAM_SETS[args.params]()
+    table = measure_table4(csidh_512().p)
+    result = evaluate_group_action(table, params=params,
+                                   keys=args.keys, seed=args.seed)
+    print("\n".join(result.summary_lines(
+        include_paper=not args.no_paper)))
+    return 0
+
+
+def _cmd_exchange(args: argparse.Namespace) -> int:
+    from repro.csidh.protocol import key_exchange_demo
+
+    params = _PARAM_SETS[args.params]()
+    secret_a, secret_b = key_exchange_demo(params, seed=args.seed)
+    agreed = secret_a == secret_b
+    print(f"{params.name}: shared secret "
+          f"{'AGREED' if agreed else 'MISMATCH'}: {secret_a:#x}")
+    return 0 if agreed else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.report import generate_report
+
+    report = generate_report(keys=args.keys, seed=args.seed)
+    text = report.to_markdown()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    from repro.kernels.registry import cached_kernels
+
+    kernels = cached_kernels(_PARAM_SETS[args.params]().p)
+    if args.name not in kernels:
+        print(f"unknown kernel {args.name!r}; available:",
+              file=sys.stderr)
+        for name in sorted(kernels):
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    kernel = kernels[args.name]
+    print(kernel.source)
+    total = sum(kernel.static_counts.values())
+    print(f"# {total} static instructions "
+          f"({dict(kernel.static_counts.most_common(6))} ...)")
+    return 0
+
+
+def _cmd_listings(args: argparse.Namespace) -> int:
+    from repro.core.macros import (
+        carry_propagate_isa,
+        carry_propagate_ise,
+        mac_full_radix_isa,
+        mac_full_radix_ise,
+        mac_reduced_radix_isa,
+        mac_reduced_radix_ise,
+    )
+
+    sections = [
+        ("Listing 1 - ISA-only full-radix MAC",
+         mac_full_radix_isa("e", "h", "l", "a", "b", "y", "z")),
+        ("Listing 2 - ISA-only reduced-radix MAC",
+         mac_reduced_radix_isa("h", "l", "a", "b", "y", "z")),
+        ("Listing 3 - ISE-supported full-radix MAC",
+         mac_full_radix_ise("e", "h", "l", "a", "b", "z")),
+        ("Listing 4 - ISE-supported reduced-radix MAC",
+         mac_reduced_radix_ise("h", "l", "a", "b")),
+        ("carry propagation, ISA-only",
+         carry_propagate_isa("x", "y", "m", "z")),
+        ("carry propagation, with sraiadd",
+         carry_propagate_ise("x", "y", "m")),
+    ]
+    for title, lines in sections:
+        print(f"{title} ({len(lines)} instructions)")
+        for line in lines:
+            print(f"    {line}")
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAC'24 RISC-V MPI-ISE / CSIDH-512 reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, *, params: bool = True) -> None:
+        if params:
+            p.add_argument("--params", choices=sorted(_PARAM_SETS),
+                           default="csidh-512")
+        p.add_argument("--no-paper", action="store_true",
+                       help="omit the paper's reference numbers")
+        p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("table3", help="hardware cost table")
+    p.add_argument("--no-paper", action="store_true")
+    p.set_defaults(func=_cmd_table3)
+
+    p = sub.add_parser("table4", help="operation cycle table")
+    common(p)
+    p.set_defaults(func=_cmd_table4)
+
+    p = sub.add_parser("action", help="group-action cycles/speedups")
+    common(p)
+    p.add_argument("--keys", type=int, default=2)
+    p.set_defaults(func=_cmd_action)
+
+    p = sub.add_parser("exchange", help="run a key exchange")
+    common(p)
+    p.set_defaults(func=_cmd_exchange, params="mini")
+
+    p = sub.add_parser("report", help="full markdown report")
+    p.add_argument("--output", "-o", default=None)
+    p.add_argument("--keys", type=int, default=2)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("kernel", help="dump a generated kernel")
+    p.add_argument("name", help="e.g. fp_mul.reduced.ise")
+    p.add_argument("--params", choices=sorted(_PARAM_SETS),
+                   default="csidh-512")
+    p.set_defaults(func=_cmd_kernel)
+
+    p = sub.add_parser("listings", help="print Listings 1-4")
+    p.set_defaults(func=_cmd_listings)
+
+    p = sub.add_parser("validate",
+                       help="validate every kernel against its oracle")
+    p.add_argument("--params", choices=sorted(_PARAM_SETS),
+                   default="toy")
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--constant-time", action="store_true",
+                   help="also verify constant-time traces")
+    p.set_defaults(func=_cmd_validate)
+
+    return parser
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.kernels.validation import validate_kernels
+
+    params = _PARAM_SETS[args.params]()
+    report = validate_kernels(
+        params.p, trials=args.trials,
+        check_constant_time=args.constant_time)
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. piped into `head`
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

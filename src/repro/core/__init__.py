@@ -1,0 +1,74 @@
+"""The paper's primary contribution: ISEs for MPI arithmetic on RISC-V.
+
+* :mod:`repro.core.ise` — the six custom instructions of Table 1 with
+  executable semantics (Figures 1-3), their R4-type encodings, and the
+  extended instruction sets;
+* :mod:`repro.core.macros` — the MAC operation bodies of Listings 1-4
+  and the carry-propagation sequences.
+"""
+
+from repro.core.ise import (
+    ALL_ISE_SPECS,
+    CADD,
+    CUSTOM_FUNCT3,
+    EXTENDED_ISA,
+    FULL_RADIX_ISA,
+    FULL_RADIX_SPECS,
+    MADD57HU,
+    MADD57LU,
+    MADDHU,
+    MADDLU,
+    MASK57,
+    REDUCED_RADIX_BITS,
+    REDUCED_RADIX_ISA,
+    REDUCED_RADIX_SPECS,
+    SRAIADD,
+    cadd_value,
+    madd57hu_value,
+    madd57lu_value,
+    maddhu_value,
+    maddlu_value,
+    msa2,
+    sraiadd_value,
+)
+from repro.core.macros import (
+    LISTING_INSTRUCTION_COUNTS,
+    carry_propagate_isa,
+    carry_propagate_ise,
+    mac_full_radix_isa,
+    mac_full_radix_ise,
+    mac_reduced_radix_isa,
+    mac_reduced_radix_ise,
+)
+
+__all__ = [
+    "ALL_ISE_SPECS",
+    "CADD",
+    "CUSTOM_FUNCT3",
+    "EXTENDED_ISA",
+    "FULL_RADIX_ISA",
+    "FULL_RADIX_SPECS",
+    "MADD57HU",
+    "MADD57LU",
+    "MADDHU",
+    "MADDLU",
+    "MASK57",
+    "REDUCED_RADIX_BITS",
+    "REDUCED_RADIX_ISA",
+    "REDUCED_RADIX_SPECS",
+    "SRAIADD",
+    "cadd_value",
+    "madd57hu_value",
+    "madd57lu_value",
+    "maddhu_value",
+    "maddlu_value",
+    "msa2",
+    "sraiadd_value",
+    "LISTING_INSTRUCTION_COUNTS",
+    "carry_propagate_isa",
+    "carry_propagate_ise",
+    "mac_full_radix_isa",
+    "mac_full_radix_ise",
+    "mac_reduced_radix_isa",
+    "mac_reduced_radix_ise",
+]

@@ -1,0 +1,116 @@
+"""The paper's MAC and carry-propagation code sequences (Listings 1-4).
+
+Each function returns a list of assembly-source lines parameterised on
+register names, ready to be fed to the assembler or spliced into a
+generated kernel.  The instruction counts are the paper's headline
+software-level results:
+
+* full-radix MAC:      8 instructions ISA-only  -> 4 with ISEs;
+* reduced-radix MAC:   6 instructions ISA-only  -> 2 with ISEs;
+* radix-2^57 carry propagation: 3 instructions -> 2 with ``sraiadd``.
+"""
+
+from __future__ import annotations
+
+from repro.core.ise import REDUCED_RADIX_BITS
+
+
+def mac_full_radix_isa(
+    e: str, h: str, l: str, a: str, b: str, y: str, z: str
+) -> list[str]:
+    """Listing 1 — ISA-only full-radix MAC.
+
+    ``(e || h || l) <- (e || h || l) + a*b`` with the 192-bit accumulator
+    in registers *e*, *h*, *l*; *y*, *z* are clobbered temporaries.
+    """
+    return [
+        f"mulhu {z}, {a}, {b}",
+        f"mul {y}, {a}, {b}",
+        f"add {l}, {l}, {y}",
+        f"sltu {y}, {l}, {y}",
+        f"add {z}, {z}, {y}",
+        f"add {h}, {h}, {z}",
+        f"sltu {z}, {h}, {z}",
+        f"add {e}, {e}, {z}",
+    ]
+
+
+def mac_reduced_radix_isa(
+    h: str, l: str, a: str, b: str, y: str, z: str
+) -> list[str]:
+    """Listing 2 — ISA-only reduced-radix MAC.
+
+    ``(h || l) <- (h || l) + a*b`` with the 128-bit accumulator in *h*,
+    *l*; *y*, *z* are clobbered temporaries.
+    """
+    return [
+        f"mulhu {z}, {a}, {b}",
+        f"mul {y}, {a}, {b}",
+        f"add {l}, {l}, {y}",
+        f"sltu {y}, {l}, {y}",
+        f"add {z}, {z}, {y}",
+        f"add {h}, {h}, {z}",
+    ]
+
+
+def mac_full_radix_ise(
+    e: str, h: str, l: str, a: str, b: str, z: str
+) -> list[str]:
+    """Listing 3 — ISE-supported full-radix MAC (half the instructions).
+
+    ``maddhu`` folds the low-half carry internally; ``cadd`` replaces the
+    remaining ``sltu``/``add`` pair.
+    """
+    return [
+        f"maddhu {z}, {a}, {b}, {l}",
+        f"maddlu {l}, {a}, {b}, {l}",
+        f"cadd {e}, {h}, {z}, {e}",
+        f"add {h}, {h}, {z}",
+    ]
+
+
+def mac_reduced_radix_ise(h: str, l: str, a: str, b: str) -> list[str]:
+    """Listing 4 — ISE-supported reduced-radix MAC (two instructions).
+
+    ``l <- l + (a*b)_{56..0}`` and ``h <- h + (a*b)_{120..57}``; the
+    accumulator stays aligned to the radix automatically.
+    """
+    return [
+        f"madd57hu {h}, {a}, {b}, {h}",
+        f"madd57lu {l}, {a}, {b}, {l}",
+    ]
+
+
+def carry_propagate_isa(x: str, y: str, m: str, z: str) -> list[str]:
+    """Radix-2^57 carry propagation from limb *x* into limb *y*, ISA-only.
+
+    *m* must hold the mask ``2^57 - 1``; *z* is a clobbered temporary
+    (Sect. 3.2, "Impact of our ISEs on software").
+    """
+    w = REDUCED_RADIX_BITS
+    return [
+        f"srai {z}, {x}, {w}",
+        f"add {y}, {y}, {z}",
+        f"and {x}, {x}, {m}",
+    ]
+
+
+def carry_propagate_ise(x: str, y: str, m: str) -> list[str]:
+    """Radix-2^57 carry propagation with ``sraiadd`` (one fewer
+    instruction and a weakened dependency chain)."""
+    w = REDUCED_RADIX_BITS
+    return [
+        f"sraiadd {y}, {y}, {x}, {w}",
+        f"and {x}, {x}, {m}",
+    ]
+
+
+#: Instruction counts asserted by the paper; benchmarked in E6/E7.
+LISTING_INSTRUCTION_COUNTS = {
+    "mac_full_radix_isa": 8,
+    "mac_reduced_radix_isa": 6,
+    "mac_full_radix_ise": 4,
+    "mac_reduced_radix_ise": 2,
+    "carry_propagate_isa": 3,
+    "carry_propagate_ise": 2,
+}

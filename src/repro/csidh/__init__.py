@@ -1,0 +1,87 @@
+"""CSIDH: commutative supersingular-isogeny Diffie-Hellman.
+
+The complete protocol stack the paper uses as its case study:
+
+* :mod:`repro.csidh.parameters` — CSIDH-512 and toy parameter sets;
+* :mod:`repro.csidh.montgomery` — x-only Montgomery curve arithmetic;
+* :mod:`repro.csidh.isogeny` — odd-degree Velu isogenies;
+* :mod:`repro.csidh.group_action` — the class group action;
+* :mod:`repro.csidh.protocol` — key generation and exchange;
+* :mod:`repro.csidh.validate` — public-key supersingularity checks;
+* :mod:`repro.csidh.opcount` — instrumented runs for the cycle model.
+"""
+
+from repro.csidh.breakdown import (
+    PHASES,
+    PhaseBreakdown,
+    group_action_breakdown,
+)
+from repro.csidh.group_action import ActionStats, group_action
+from repro.csidh.isogeny import IsogenyResult, isogeny, kernel_multiples
+from repro.csidh.montgomery import (
+    Curve,
+    INFINITY,
+    XPoint,
+    curve_rhs,
+    ladder,
+    sample_point_x,
+    xadd,
+    xdbl,
+)
+from repro.csidh.opcount import (
+    GroupActionProfile,
+    average_group_action_profile,
+    count_group_action,
+)
+from repro.csidh.parameters import (
+    CsidhParameters,
+    csidh_1024_like,
+    csidh_512,
+    csidh_mini,
+    csidh_toy,
+    synthesize_parameters,
+)
+from repro.csidh.protocol import (
+    BASE_COEFFICIENT,
+    Csidh,
+    PrivateKey,
+    PublicKey,
+    derive_symmetric_key,
+    key_exchange_demo,
+)
+from repro.csidh.validate import is_supersingular
+
+__all__ = [
+    "PHASES",
+    "PhaseBreakdown",
+    "group_action_breakdown",
+    "csidh_1024_like",
+    "synthesize_parameters",
+    "derive_symmetric_key",
+    "ActionStats",
+    "group_action",
+    "IsogenyResult",
+    "isogeny",
+    "kernel_multiples",
+    "Curve",
+    "INFINITY",
+    "XPoint",
+    "curve_rhs",
+    "ladder",
+    "sample_point_x",
+    "xadd",
+    "xdbl",
+    "GroupActionProfile",
+    "average_group_action_profile",
+    "count_group_action",
+    "CsidhParameters",
+    "csidh_512",
+    "csidh_mini",
+    "csidh_toy",
+    "BASE_COEFFICIENT",
+    "Csidh",
+    "PrivateKey",
+    "PublicKey",
+    "key_exchange_demo",
+    "is_supersingular",
+]

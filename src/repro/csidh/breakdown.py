@@ -1,0 +1,148 @@
+"""Phase-level cost breakdown of the CSIDH group action.
+
+Decomposes an instrumented group action into its constituent phases —
+point sampling + quadraticity tests (Legendre symbols), cofactor
+ladders, kernel-generation ladders, isogeny computation/evaluation and
+the per-round coefficient normalisation — so the evaluation can say
+*where* the half-million multiplications go.  This mirrors the analysis
+behind the paper's focus on Montgomery multiplication ("it dominates
+the execution time").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.csidh.isogeny import isogeny
+from repro.csidh.montgomery import Curve, XPoint, curve_rhs, ladder
+from repro.csidh.parameters import CsidhParameters
+from repro.errors import ProtocolError
+from repro.field.counters import CountingScope, OpCounter
+from repro.field.fp import FieldContext
+
+PHASES = (
+    "sampling",       # random x + Legendre classification
+    "cofactor",       # [(p+1)/k] ladder clearing unwanted torsion
+    "kernel",         # [k/l_i] ladders producing kernel points
+    "isogeny",        # codomain + point evaluation
+    "normalise",      # projective -> affine coefficient (inversions)
+)
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-phase operation counters for one or more group actions."""
+
+    phases: dict[str, OpCounter] = field(
+        default_factory=lambda: {name: OpCounter() for name in PHASES})
+    actions: int = 0
+
+    @property
+    def total(self) -> OpCounter:
+        out = OpCounter()
+        for counter in self.phases.values():
+            out = out + counter
+        return out
+
+    def fractions(self) -> dict[str, float]:
+        """Phase -> fraction of total mul-equivalents."""
+        total = self.total.mul_equivalents
+        if not total:
+            return {name: 0.0 for name in PHASES}
+        return {
+            name: counter.mul_equivalents / total
+            for name, counter in self.phases.items()
+        }
+
+    def report(self) -> str:
+        lines = [f"{'phase':12s}{'mul':>9s}{'sqr':>9s}{'add':>9s}"
+                 f"{'sub':>9s}{'share':>8s}"]
+        fractions = self.fractions()
+        for name in PHASES:
+            ops = self.phases[name]
+            lines.append(
+                f"{name:12s}{ops.mul:>9d}{ops.sqr:>9d}{ops.add:>9d}"
+                f"{ops.sub:>9d}{100 * fractions[name]:>7.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def group_action_breakdown(
+    params: CsidhParameters,
+    exponents: tuple[int, ...],
+    *,
+    coefficient: int = 0,
+    seed: int = 0,
+    max_rounds: int = 10_000,
+) -> PhaseBreakdown:
+    """Run one group action with per-phase counting.
+
+    This is a re-instrumented copy of
+    :func:`repro.csidh.group_action.group_action` (kept in sync by the
+    equivalence test in the suite): same algorithm, same results, but
+    each phase's field work is recorded separately.
+    """
+    field_ctx = FieldContext(params.p)
+    counter = field_ctx.counter
+    rng = random.Random(seed)
+    breakdown = PhaseBreakdown(actions=1)
+    phases = breakdown.phases
+
+    p = params.p
+    ells = params.ells
+    pending = list(exponents)
+    a = coefficient % p
+
+    rounds = 0
+    while any(pending):
+        rounds += 1
+        if rounds > max_rounds:
+            raise ProtocolError("group action did not converge")
+
+        with CountingScope(counter) as scope:
+            x = rng.randrange(1, p)
+            rhs = curve_rhs(field_ctx, a, x)
+            side = field_ctx.legendre(rhs)
+        phases["sampling"] = phases["sampling"] + scope.delta
+        if side == 0:
+            continue
+        todo = [
+            i for i, e in enumerate(pending)
+            if e != 0 and (1 if e > 0 else -1) == side
+        ]
+        if not todo:
+            continue
+
+        k = math.prod(ells[i] for i in todo)
+        curve = Curve.from_affine(field_ctx, a)
+        with CountingScope(counter) as scope:
+            point = ladder(field_ctx, (p + 1) // k, XPoint(x, 1), curve)
+        phases["cofactor"] = phases["cofactor"] + scope.delta
+
+        for position, i in enumerate(todo):
+            ell = ells[i]
+            if point.is_infinity:
+                break
+            with CountingScope(counter) as scope:
+                kernel = ladder(field_ctx, k // ell, point, curve)
+            phases["kernel"] = phases["kernel"] + scope.delta
+            if kernel.is_infinity:
+                k //= ell
+                continue
+            push = (point,) if position < len(todo) - 1 else ()
+            with CountingScope(counter) as scope:
+                result = isogeny(field_ctx, curve, kernel, ell,
+                                 push=push)
+            phases["isogeny"] = phases["isogeny"] + scope.delta
+            curve = result.curve
+            point = result.images[0] if push else XPoint(1, 0)
+            k //= ell
+            pending[i] -= side
+
+        with CountingScope(counter) as scope:
+            a = curve.affine_a(field_ctx)
+        phases["normalise"] = phases["normalise"] + scope.delta
+
+    return breakdown

@@ -1,0 +1,125 @@
+"""The CSIDH class group action (the protocol's core computation).
+
+Implements the original Castryck-Lange-Martindale-Panny-Renes evaluation
+strategy: sample a random x, determine by a Legendre symbol whether it
+lies on the curve (s = +1) or its quadratic twist (s = -1), clear the
+cofactor, and then peel off one l_i-isogeny per prime whose pending
+exponent has sign s — the x-only arithmetic is twist-agnostic, which is
+what makes the signed-exponent key space work.
+
+The curve is tracked projectively as ``(A24plus : C24)`` across the
+isogeny chain of one round; a single inversion per round recovers the
+affine coefficient needed for the next point sampling (and for the final
+public value).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.csidh.isogeny import isogeny
+from repro.csidh.montgomery import (
+    Curve,
+    XPoint,
+    curve_rhs,
+    ladder,
+)
+from repro.csidh.parameters import CsidhParameters
+from repro.errors import ParameterError, ProtocolError
+from repro.field.fp import FieldContext
+
+
+@dataclass
+class ActionStats:
+    """Diagnostics of one group-action evaluation."""
+
+    rounds: int = 0
+    isogenies: int = 0
+    wasted_samples: int = 0      # x on the wrong side or rhs == 0
+    missed_kernels: int = 0      # cofactor multiple landed on infinity
+
+
+def group_action(
+    params: CsidhParameters,
+    field: FieldContext,
+    coefficient: int,
+    exponents: tuple[int, ...],
+    rng: random.Random,
+    *,
+    stats: ActionStats | None = None,
+    max_rounds: int = 10_000,
+) -> int:
+    """Apply the ideal ``prod l_i^{e_i}`` to ``E_coefficient``.
+
+    Returns the affine Montgomery coefficient of the resulting curve.
+    The result is deterministic in (coefficient, exponents); *rng* only
+    influences how many rounds the evaluation takes.
+    """
+    if len(exponents) != params.num_primes:
+        raise ParameterError(
+            f"need {params.num_primes} exponents, got {len(exponents)}"
+        )
+    for e, ell in zip(exponents, params.ells):
+        if abs(e) > params.max_exponent:
+            raise ParameterError(
+                f"exponent {e} for l={ell} exceeds bound "
+                f"{params.max_exponent}"
+            )
+
+    p = field.p
+    ells = params.ells
+    pending = list(exponents)
+    a = coefficient % p
+    if stats is None:
+        stats = ActionStats()
+
+    rounds = 0
+    while any(pending):
+        rounds += 1
+        if rounds > max_rounds:
+            raise ProtocolError(
+                f"group action did not converge in {max_rounds} rounds"
+            )
+
+        x = rng.randrange(1, p)
+        rhs = curve_rhs(field, a, x)
+        side = field.legendre(rhs)
+        if side == 0:
+            stats.wasted_samples += 1
+            continue
+        todo = [
+            i for i, e in enumerate(pending)
+            if e != 0 and (1 if e > 0 else -1) == side
+        ]
+        if not todo:
+            stats.wasted_samples += 1
+            continue
+        stats.rounds += 1
+
+        k = math.prod(ells[i] for i in todo)
+        curve = Curve.from_affine(field, a)
+        point = ladder(field, (p + 1) // k, XPoint(x, 1), curve)
+
+        for position, i in enumerate(todo):
+            ell = ells[i]
+            if point.is_infinity:
+                stats.missed_kernels += len(todo) - position
+                break
+            kernel = ladder(field, k // ell, point, curve)
+            if kernel.is_infinity:
+                stats.missed_kernels += 1
+                k //= ell
+                continue
+            push = (point,) if position < len(todo) - 1 else ()
+            result = isogeny(field, curve, kernel, ell, push=push)
+            curve = result.curve
+            point = result.images[0] if push else XPoint(1, 0)
+            k //= ell
+            pending[i] -= side
+            stats.isogenies += 1
+
+        a = curve.affine_a(field)
+
+    return a

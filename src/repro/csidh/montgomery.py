@@ -1,0 +1,142 @@
+"""x-only Montgomery curve arithmetic over an instrumented F_p.
+
+CSIDH works on Montgomery curves ``E_A : y^2 = x^3 + A x^2 + x`` using
+x-only projective points ``(X : Z)`` and the classic differential
+arithmetic (xDBL / xADD / Montgomery ladder).  The curve coefficient is
+kept projective as ``(A24plus : C24) = (A + 2C : 4C)`` so the whole
+group action needs only a single inversion at the very end — the same
+trick as the optimised CSIDH implementations the paper builds on.
+
+A crucial property exploited by the group action: these formulas never
+reference the y-coordinate, so they are simultaneously correct on the
+curve and on its quadratic twist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.field.fp import FieldContext
+
+
+@dataclass(frozen=True)
+class XPoint:
+    """Projective x-only point ``(X : Z)``; ``Z == 0`` encodes infinity."""
+
+    X: int
+    Z: int
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.Z == 0
+
+    def normalise(self, field: FieldContext) -> int:
+        """Affine x-coordinate (one counted inversion)."""
+        if self.is_infinity:
+            raise ParameterError("the point at infinity has no x")
+        return field.mul(self.X, field.inv(self.Z))
+
+
+INFINITY = XPoint(1, 0)
+
+
+@dataclass(frozen=True)
+class Curve:
+    """Montgomery coefficient in projective ``(A24plus : C24)`` form."""
+
+    A24plus: int   # A + 2C
+    C24: int       # 4C
+
+    @staticmethod
+    def from_affine(field: FieldContext, a: int) -> "Curve":
+        """Curve for an affine coefficient A (C = 1), uncounted setup."""
+        p = field.p
+        return Curve((a + 2) % p, 4 % p)
+
+    def affine_a(self, field: FieldContext) -> int:
+        """Recover affine ``A = (4*A24plus - 2*C24) / C24``."""
+        if self.C24 % field.p == 0:
+            raise ParameterError("degenerate curve: C = 0")
+        four_a24 = field.add(
+            field.add(self.A24plus, self.A24plus),
+            field.add(self.A24plus, self.A24plus),
+        )
+        two_c24 = field.add(self.C24, self.C24)
+        numerator = field.sub(four_a24, two_c24)
+        return field.mul(numerator, field.inv(self.C24))
+
+    def is_smooth(self, field: FieldContext) -> bool:
+        """True unless the curve is singular (A = +-2, i.e. j = infty)."""
+        a = self.affine_a(field)
+        return a not in (2, field.p - 2)
+
+
+def curve_rhs(field: FieldContext, a: int, x: int) -> int:
+    """``x^3 + A x^2 + x`` — the Montgomery curve equation RHS."""
+    x2 = field.sqr(x)
+    ax2 = field.mul(a, x2)
+    x3 = field.mul(x2, x)
+    return field.add(field.add(x3, ax2), x)
+
+
+def xdbl(field: FieldContext, point: XPoint, curve: Curve) -> XPoint:
+    """Doubling: 4M + 2S (SIKE-style formulas on (A24plus : C24))."""
+    t0 = field.sub(point.X, point.Z)
+    t1 = field.add(point.X, point.Z)
+    t0 = field.sqr(t0)
+    t1 = field.sqr(t1)
+    z2 = field.mul(curve.C24, t0)
+    x2 = field.mul(z2, t1)
+    t1 = field.sub(t1, t0)
+    t0 = field.mul(curve.A24plus, t1)
+    z2 = field.add(z2, t0)
+    z2 = field.mul(z2, t1)
+    return XPoint(x2, z2)
+
+
+def xadd(
+    field: FieldContext, p: XPoint, q: XPoint, diff: XPoint
+) -> XPoint:
+    """Differential addition ``P + Q`` given ``P - Q``: 4M + 2S."""
+    t0 = field.add(p.X, p.Z)
+    t1 = field.sub(p.X, p.Z)
+    t2 = field.add(q.X, q.Z)
+    t3 = field.sub(q.X, q.Z)
+    t0 = field.mul(t0, t3)
+    t1 = field.mul(t1, t2)
+    t2 = field.add(t0, t1)
+    t3 = field.sub(t0, t1)
+    t2 = field.sqr(t2)
+    t3 = field.sqr(t3)
+    x = field.mul(diff.Z, t2)
+    z = field.mul(diff.X, t3)
+    return XPoint(x, z)
+
+
+def ladder(
+    field: FieldContext, k: int, point: XPoint, curve: Curve
+) -> XPoint:
+    """Montgomery ladder: ``[k] point`` (x-only scalar multiplication)."""
+    if k < 0:
+        raise ParameterError("ladder requires a non-negative scalar")
+    if k == 0 or point.is_infinity:
+        return INFINITY
+    r0, r1 = point, xdbl(field, point, curve)
+    for bit in bin(k)[3:]:
+        if bit == "0":
+            r1 = xadd(field, r0, r1, point)
+            r0 = xdbl(field, r0, curve)
+        else:
+            r0 = xadd(field, r0, r1, point)
+            r1 = xdbl(field, r1, curve)
+    return r0
+
+
+def sample_point_x(field: FieldContext, a: int, rng) -> tuple[int, int]:
+    """Draw a uniform ``x`` and classify it: returns ``(x, s)`` with
+    ``s = +1`` if x lies on ``E_A`` and ``s = -1`` if on its quadratic
+    twist (``s = 0`` for the rare 2-torsion x with rhs == 0)."""
+    x = rng.randrange(1, field.p)
+    rhs = curve_rhs(field, a, x)
+    return x, field.legendre(rhs)

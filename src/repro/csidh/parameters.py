@@ -1,0 +1,147 @@
+"""CSIDH parameter sets.
+
+CSIDH primes have the special form ``p = 4 * l_1 * ... * l_n - 1`` with
+small odd prime factors ``l_i`` (Sect. 2, "Basic CSIDH facts").  The
+paper evaluates CSIDH-512 (511-bit p, NIST PQ level 1): the first 73 odd
+primes 3..373 plus 587, with private-key exponents drawn from
+``[-5, 5]^74``.
+
+Toy parameter sets with the same structure are provided for end-to-end
+tests that run the whole group action *on the ISA simulator*, which is
+far too slow for the real 511-bit prime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import ParameterError
+from repro.mpi.primality import first_odd_primes, is_prime
+
+
+@dataclass(frozen=True)
+class CsidhParameters:
+    """One CSIDH instantiation."""
+
+    name: str
+    ells: tuple[int, ...]        # the small odd prime factors l_1 < ... < l_n
+    max_exponent: int            # private exponents drawn from [-m, m]
+
+    def __post_init__(self) -> None:
+        if not self.ells:
+            raise ParameterError("need at least one isogeny degree")
+        if list(self.ells) != sorted(set(self.ells)):
+            raise ParameterError("ells must be strictly increasing")
+        if self.max_exponent < 1:
+            raise ParameterError("max_exponent must be >= 1")
+
+    @property
+    def p(self) -> int:
+        """The field prime ``4 * prod(ells) - 1``."""
+        return 4 * math.prod(self.ells) - 1
+
+    @property
+    def num_primes(self) -> int:
+        return len(self.ells)
+
+    @property
+    def key_space_bits(self) -> float:
+        """log2 of the private-key space ``(2m+1)^n``."""
+        return self.num_primes * math.log2(2 * self.max_exponent + 1)
+
+    def validate(self) -> None:
+        """Check the structural properties the protocol relies on."""
+        p = self.p
+        if not is_prime(p):
+            raise ParameterError(f"{self.name}: p is not prime")
+        if p % 8 != 3:
+            raise ParameterError(
+                f"{self.name}: p = {p % 8} (mod 8), need 3 "
+                "(so End(E) = Z[sqrt(-p)] and A=0 is supersingular)"
+            )
+        for ell in self.ells:
+            if not is_prime(ell) or ell == 2:
+                raise ParameterError(
+                    f"{self.name}: factor {ell} is not an odd prime"
+                )
+
+    def sample_private_key(self, rng) -> tuple[int, ...]:
+        """Uniform exponent vector in ``[-m, m]^n``."""
+        m = self.max_exponent
+        return tuple(rng.randint(-m, m) for _ in self.ells)
+
+
+@lru_cache(maxsize=None)
+def csidh_512() -> CsidhParameters:
+    """The paper's CSIDH-512: 511-bit p, 74 primes, exponents in
+    [-5, 5] (~2^256 keys, 64-byte public keys)."""
+    ells = tuple(first_odd_primes(73)) + (587,)
+    params = CsidhParameters("CSIDH-512", ells, max_exponent=5)
+    params.validate()
+    return params
+
+
+@lru_cache(maxsize=None)
+def csidh_toy() -> CsidhParameters:
+    """Tiny instance (p = 4*3*5*7 - 1 = 419) for simulator-hosted
+    end-to-end runs and exhaustive tests."""
+    params = CsidhParameters("CSIDH-toy", (3, 5, 7), max_exponent=2)
+    params.validate()
+    return params
+
+
+def synthesize_parameters(
+    num_primes: int,
+    *,
+    max_exponent: int = 5,
+    name: str | None = None,
+) -> CsidhParameters:
+    """Construct a CSIDH-shaped parameter set with *num_primes* factors.
+
+    Takes the first ``num_primes - 1`` odd primes and searches the last
+    factor upward until ``p = 4 * prod(ells) - 1`` is prime (every
+    such p automatically satisfies ``p = 3 (mod 8)`` since each odd
+    factor is coprime to 2).  The official CSIDH-512 list is of exactly
+    this shape (73 consecutive primes + 587); larger instantiations
+    (CSIDH-1024/1792, mentioned in Sect. 2) were never standardised, so
+    scaling experiments use these synthesized sets — same structure,
+    same arithmetic, documented substitution.
+    """
+    if num_primes < 2:
+        raise ParameterError("need at least two prime factors")
+    base = first_odd_primes(num_primes - 1)
+    candidate = base[-1] + 2
+    while True:
+        if is_prime(candidate) and is_prime(
+            4 * math.prod(base) * candidate - 1
+        ):
+            ells = tuple(base) + (candidate,)
+            params = CsidhParameters(
+                name or f"CSIDH-synth-{num_primes}",
+                ells,
+                max_exponent=max_exponent,
+            )
+            params.validate()
+            return params
+        candidate += 2
+
+
+@lru_cache(maxsize=None)
+def csidh_1024_like() -> CsidhParameters:
+    """A synthesized ~1024-bit instantiation (CSIDH-1024 was never
+    fully standardised); used by the E9 scaling experiment."""
+    params = synthesize_parameters(130, max_exponent=2,
+                                   name="CSIDH-1024-like")
+    return params
+
+
+@lru_cache(maxsize=None)
+def csidh_mini() -> CsidhParameters:
+    """Medium toy (p = 19399379, 25 bits) for fast protocol testing."""
+    params = CsidhParameters(
+        "CSIDH-mini", (3, 5, 7, 11, 13, 17, 19), max_exponent=3
+    )
+    params.validate()
+    return params

@@ -1,0 +1,58 @@
+"""Public-key validation: verifying supersingularity of a coefficient.
+
+CSIDH public keys are bare field elements; before using a peer's key
+with a static private key, a party must check that ``E_A`` is a
+supersingular curve in the right isogeny class.  The CSIDH paper's
+Algorithm (Sect. "Validating public keys") accumulates the proven order
+``d = prod l_i`` over the primes whose torsion a random point exhibits;
+once ``d > 4 * sqrt(p)``, Hasse's bound pins the group order to exactly
+``p + 1``, which happens only for supersingular curves.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.csidh.montgomery import Curve, XPoint, ladder
+from repro.csidh.parameters import CsidhParameters
+from repro.field.fp import FieldContext
+
+
+def is_supersingular(
+    params: CsidhParameters,
+    field: FieldContext,
+    coefficient: int,
+    rng: random.Random,
+    *,
+    max_attempts: int = 64,
+) -> bool:
+    """Probabilistic supersingularity check (false negatives impossible;
+    a non-supersingular curve is rejected with overwhelming odds)."""
+    p = field.p
+    a = coefficient % p
+    if a in (2, p - 2):
+        return False  # singular curve
+    curve = Curve.from_affine(field, a)
+    bound = 4 * math.isqrt(p)
+
+    for _ in range(max_attempts):
+        x = rng.randrange(1, p)
+        point = XPoint(x, 1)
+        # clear the cofactor 4; works on curve and twist alike
+        point = ladder(field, 4, point, curve)
+        if point.is_infinity:
+            continue
+        proven = 1
+        for ell in params.ells:
+            cofactor = (p + 1) // (4 * ell)
+            probe = ladder(field, cofactor, point, curve)
+            if probe.is_infinity:
+                continue
+            if not ladder(field, ell, probe, curve).is_infinity:
+                return False  # order does not divide p + 1
+            proven *= ell
+            if proven > bound:
+                return True
+        # inconclusive point (too little torsion revealed); retry
+    return False

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError`, so
+callers can catch a single base class at the API boundary while tests can
+assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded or decoded."""
+
+
+class AssemblerError(ReproError):
+    """Malformed assembly source (bad mnemonic, operand, or label)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an illegal state (bad fetch, trap, limits)."""
+
+
+class MemoryAccessError(SimulationError):
+    """An out-of-range, misaligned, or otherwise invalid memory access."""
+
+
+class KernelError(ReproError):
+    """A generated assembly kernel was misused or failed verification."""
+
+
+class ParameterError(ReproError):
+    """Invalid cryptographic or micro-architectural parameters."""
+
+
+class ProtocolError(ReproError):
+    """A CSIDH protocol-level failure (invalid public key, etc.)."""

@@ -1,0 +1,54 @@
+"""Evaluation harness: regenerate every table of the paper."""
+
+from repro.eval.curveops import (
+    CURVE_OP_RECIPES,
+    CurveOpCosts,
+    curve_op_costs,
+    verify_recipes_against_implementation,
+)
+from repro.eval.groupaction import (
+    GroupActionResult,
+    compose_group_action,
+    evaluate_group_action,
+)
+from repro.eval.paperdata import (
+    PAPER_GROUP_ACTION_CYCLES,
+    PAPER_GROUP_ACTION_SPEEDUP,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    TABLE4_ROW_LABELS,
+)
+from repro.eval.table3 import (
+    Table3Row,
+    measure_table3,
+    model_matches_paper,
+    overhead_summary,
+    render_table3,
+)
+from repro.eval.report import ReproductionReport, generate_report
+from repro.eval.table4 import Table4, measure_table4, render_table4
+
+__all__ = [
+    "CURVE_OP_RECIPES",
+    "CurveOpCosts",
+    "curve_op_costs",
+    "verify_recipes_against_implementation",
+    "ReproductionReport",
+    "generate_report",
+    "GroupActionResult",
+    "compose_group_action",
+    "evaluate_group_action",
+    "PAPER_GROUP_ACTION_CYCLES",
+    "PAPER_GROUP_ACTION_SPEEDUP",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "TABLE4_ROW_LABELS",
+    "Table3Row",
+    "measure_table3",
+    "model_matches_paper",
+    "overhead_summary",
+    "render_table3",
+    "Table4",
+    "measure_table4",
+    "render_table4",
+]

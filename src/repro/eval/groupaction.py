@@ -1,0 +1,85 @@
+"""Regeneration of Table 4's bottom row: CSIDH-512 group-action cycles.
+
+The composition is:
+
+1. run instrumented CSIDH-512 group actions (pure Python, seeded keys)
+   to obtain the exact F_p operation counts;
+2. multiply by the per-operation cycle costs measured on the simulator
+   (the rows above in Table 4);
+3. report absolute cycles and the speedup relative to the full-radix
+   ISA-only baseline, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.csidh.opcount import (
+    GroupActionProfile,
+    average_group_action_profile,
+)
+from repro.csidh.parameters import CsidhParameters, csidh_512
+from repro.eval.paperdata import (
+    PAPER_GROUP_ACTION_CYCLES,
+    PAPER_GROUP_ACTION_SPEEDUP,
+)
+from repro.eval.table4 import Table4
+from repro.field.counters import OpCounter
+from repro.kernels.spec import ALL_VARIANTS, VARIANT_FULL_ISA
+
+
+@dataclass(frozen=True)
+class GroupActionResult:
+    """Cycle estimate of the group action for every variant."""
+
+    ops: OpCounter                      # per-action operation counts
+    cycles: dict[str, float]            # variant -> cycles
+    speedup: dict[str, float]           # variant -> vs full-radix ISA
+
+    def summary_lines(self, *, include_paper: bool = True) -> list[str]:
+        lines = [
+            f"{'Variant':14s}{'cycles':>14s}{'speedup':>9s}"
+            + ("{:>16s}{:>9s}".format("paper cycles", "paper")
+               if include_paper else "")
+        ]
+        for variant in ALL_VARIANTS:
+            line = (
+                f"{variant:14s}{self.cycles[variant]:>14,.0f}"
+                f"{self.speedup[variant]:>8.2f}x"
+            )
+            if include_paper:
+                line += (
+                    f"{PAPER_GROUP_ACTION_CYCLES[variant]:>16,.0f}"
+                    f"{PAPER_GROUP_ACTION_SPEEDUP[variant]:>8.2f}x"
+                )
+            lines.append(line)
+        return lines
+
+
+def compose_group_action(
+    table: Table4,
+    profile: GroupActionProfile,
+) -> GroupActionResult:
+    """Combine measured kernel costs with protocol op counts."""
+    per_action = profile.per_action()
+    cycles = {
+        variant: float(per_action.cycles(table.op_costs(variant)))
+        for variant in ALL_VARIANTS
+    }
+    baseline = cycles[VARIANT_FULL_ISA]
+    speedup = {v: baseline / c for v, c in cycles.items()}
+    return GroupActionResult(ops=per_action, cycles=cycles,
+                             speedup=speedup)
+
+
+def evaluate_group_action(
+    table: Table4,
+    *,
+    params: CsidhParameters | None = None,
+    keys: int = 3,
+    seed: int = 7,
+) -> GroupActionResult:
+    """Full pipeline: instrument the protocol, compose with *table*."""
+    params = params if params is not None else csidh_512()
+    profile = average_group_action_profile(params, keys=keys, seed=seed)
+    return compose_group_action(table, profile)

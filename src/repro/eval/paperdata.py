@@ -1,0 +1,64 @@
+"""The paper's published numbers (Tables 3 and 4), for side-by-side
+comparison in the regenerated reports.
+
+Values are transcribed from:  H. Cheng et al., "RISC-V Instruction Set
+Extensions for Multi-Precision Integer Arithmetic", DAC 2024 —
+Table 3 (hardware) and Table 4 (software, clock cycles on the 50 MHz
+Rocket core; group action in millions of cycles).
+"""
+
+from __future__ import annotations
+
+#: Table 3 — (LUTs, Regs, DSPs, CMOS GE)
+PAPER_TABLE3: dict[str, tuple[int, int, int, int]] = {
+    "base": (4807, 2156, 16, 428680),
+    "full": (5019, 2390, 16, 483248),
+    "reduced": (5223, 2352, 16, 495290),
+}
+
+#: Table 4 rows 1-8 — cycles per operation and variant.
+PAPER_TABLE4: dict[str, dict[str, int]] = {
+    "int_mul": {"full.isa": 608, "full.ise": 371,
+                "reduced.isa": 625, "reduced.ise": 303},
+    "int_sqr": {"full.isa": 440, "full.ise": 371,
+                "reduced.isa": 398, "reduced.ise": 216},
+    "mont_redc": {"full.isa": 730, "full.ise": 469,
+                  "reduced.isa": 818, "reduced.ise": 389},
+    "fast_reduce": {"full.isa": 107, "full.ise": 107,
+                    "reduced.isa": 112, "reduced.ise": 104},
+    "fp_add": {"full.isa": 163, "full.ise": 163,
+               "reduced.isa": 148, "reduced.ise": 132},
+    "fp_sub": {"full.isa": 143, "full.ise": 143,
+               "reduced.isa": 139, "reduced.ise": 123},
+    "fp_mul": {"full.isa": 1446, "full.ise": 954,
+               "reduced.isa": 1561, "reduced.ise": 799},
+    "fp_sqr": {"full.isa": 1279, "full.ise": 951,
+               "reduced.isa": 1334, "reduced.ise": 712},
+}
+
+#: Table 4 bottom row — group-action cycles (absolute) and speedups.
+PAPER_GROUP_ACTION_CYCLES: dict[str, float] = {
+    "full.isa": 701.0e6,
+    "full.ise": 502.9e6,
+    "reduced.isa": 736.2e6,
+    "reduced.ise": 411.1e6,
+}
+
+PAPER_GROUP_ACTION_SPEEDUP: dict[str, float] = {
+    "full.isa": 1.00,
+    "full.ise": 1.39,
+    "reduced.isa": 0.95,
+    "reduced.ise": 1.71,
+}
+
+#: Human-readable row labels in the paper's order.
+TABLE4_ROW_LABELS: dict[str, str] = {
+    "int_mul": "Integer multiplication",
+    "int_sqr": "Integer squaring",
+    "mont_redc": "Montgomery reduction",
+    "fast_reduce": "Fast modulo-p reduction",
+    "fp_add": "Fp-addition",
+    "fp_sub": "Fp-subtraction",
+    "fp_mul": "Fp-multiplication",
+    "fp_sqr": "Fp-squaring",
+}

@@ -1,0 +1,73 @@
+"""Regeneration of Table 3: hardware cost of the base and extended
+cores, from the structural area model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.paperdata import PAPER_TABLE3
+from repro.hw.components import AreaCost
+from repro.hw.core_model import BASE_CORE, CoreModel
+from repro.hw.xmul import FULL_RADIX_CORE, REDUCED_RADIX_CORE
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    key: str
+    label: str
+    area: AreaCost
+
+    @property
+    def tuple(self) -> tuple[int, int, int, int]:
+        a = self.area
+        return (round(a.luts), round(a.regs), round(a.dsps),
+                round(a.gates))
+
+
+def measure_table3() -> list[Table3Row]:
+    """The three cores of Table 3 from the area model."""
+    rows = []
+    for key, core in (
+        ("base", BASE_CORE),
+        ("full", FULL_RADIX_CORE),
+        ("reduced", REDUCED_RADIX_CORE),
+    ):
+        rows.append(Table3Row(key, core.name, core.total_area))
+    return rows
+
+
+def overhead_summary() -> dict[str, dict[str, float]]:
+    """Relative overheads of the two extended cores (the ~10% claim)."""
+    return {
+        "full": FULL_RADIX_CORE.overhead_percent(),
+        "reduced": REDUCED_RADIX_CORE.overhead_percent(),
+    }
+
+
+def render_table3(*, include_paper: bool = True) -> str:
+    header = (
+        f"{'Components':34s}{'LUTs':>7s}{'Regs':>7s}"
+        f"{'DSPs':>6s}{'CMOS':>9s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in measure_table3():
+        luts, regs, dsps, gates = row.tuple
+        lines.append(
+            f"{row.label:34s}{luts:>7d}{regs:>7d}{dsps:>6d}{gates:>9d}"
+        )
+        if include_paper:
+            p = PAPER_TABLE3[row.key]
+            lines.append(
+                f"{'  (paper)':34s}{p[0]:>7d}{p[1]:>7d}{p[2]:>6d}"
+                f"{p[3]:>9d}"
+            )
+    return "\n".join(lines)
+
+
+def model_matches_paper(*, tolerance: float = 0.15) -> bool:
+    """True if every modelled cell is within *tolerance* of Table 3."""
+    for row in measure_table3():
+        for got, want in zip(row.tuple, PAPER_TABLE3[row.key]):
+            if want and abs(got - want) / want > tolerance:
+                return False
+    return True

@@ -1,0 +1,14 @@
+"""F_p layer: instrumented field arithmetic and the op-count/cycle
+bridge used to compose the CSIDH-512 group-action cycle counts."""
+
+from repro.field.counters import CountingScope, OpCosts, OpCounter
+from repro.field.fp import FieldContext
+from repro.field.simulated import SimulatedFieldContext
+
+__all__ = [
+    "CountingScope",
+    "OpCosts",
+    "OpCounter",
+    "FieldContext",
+    "SimulatedFieldContext",
+]

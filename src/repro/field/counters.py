@@ -1,0 +1,105 @@
+"""Field-operation counters: the bridge from protocol runs to cycles.
+
+Simulating the full 500-million-instruction CSIDH-512 group action on a
+Python ISA simulator is infeasible, so the evaluation composes:
+
+    group-action cycles = sum over ops of  count(op) * cycles(op)
+
+where the per-operation cycle costs come from *measured* simulator runs
+of the generated kernels and the counts from an instrumented protocol
+run.  This is exactly the additive structure visible in the paper's own
+Table 4 (Fp-mul = int-mul + Montgomery reduction + fast reduction to
+within a few cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpCounter:
+    """Tally of F_p operations performed by an instrumented computation."""
+
+    mul: int = 0
+    sqr: int = 0
+    add: int = 0
+    sub: int = 0
+
+    def reset(self) -> None:
+        self.mul = self.sqr = self.add = self.sub = 0
+
+    def copy(self) -> "OpCounter":
+        return OpCounter(self.mul, self.sqr, self.add, self.sub)
+
+    def __add__(self, other: "OpCounter") -> "OpCounter":
+        return OpCounter(
+            self.mul + other.mul,
+            self.sqr + other.sqr,
+            self.add + other.add,
+            self.sub + other.sub,
+        )
+
+    def __sub__(self, other: "OpCounter") -> "OpCounter":
+        return OpCounter(
+            self.mul - other.mul,
+            self.sqr - other.sqr,
+            self.add - other.add,
+            self.sub - other.sub,
+        )
+
+    @property
+    def total(self) -> int:
+        return self.mul + self.sqr + self.add + self.sub
+
+    @property
+    def mul_equivalents(self) -> float:
+        """Rough single-number cost: sqr ~ 0.8 M, add/sub ~ 0.1 M."""
+        return self.mul + 0.8 * self.sqr + 0.1 * (self.add + self.sub)
+
+    def cycles(self, costs: "OpCosts") -> int:
+        """Total cycles under the given per-operation costs."""
+        return (
+            self.mul * costs.fp_mul
+            + self.sqr * costs.fp_sqr
+            + self.add * costs.fp_add
+            + self.sub * costs.fp_sub
+        )
+
+
+@dataclass(frozen=True)
+class OpCosts:
+    """Per-operation cycle costs of one implementation variant,
+    as measured on the simulator (Table 4 rows 5-8)."""
+
+    fp_mul: int
+    fp_sqr: int
+    fp_add: int
+    fp_sub: int
+    label: str = ""
+
+    @staticmethod
+    def from_mapping(costs: dict[str, int], label: str = "") -> "OpCosts":
+        return OpCosts(
+            fp_mul=costs["fp_mul"],
+            fp_sqr=costs["fp_sqr"],
+            fp_add=costs["fp_add"],
+            fp_sub=costs["fp_sub"],
+            label=label,
+        )
+
+
+@dataclass
+class CountingScope:
+    """Context manager measuring the ops performed inside a block."""
+
+    counter: OpCounter
+    _start: OpCounter = field(default_factory=OpCounter)
+    delta: OpCounter = field(default_factory=OpCounter)
+
+    def __enter__(self) -> "CountingScope":
+        self._start = self.counter.copy()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.delta = self.counter - self._start

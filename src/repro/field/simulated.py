@@ -1,0 +1,89 @@
+"""A FieldContext whose arithmetic executes on the RV64 simulator.
+
+Every ``mul``/``sqr``/``add``/``sub`` is carried out by the generated
+assembly kernels of one implementation variant, instruction by
+instruction, on the functional simulator — turning a CSIDH run into an
+actual execution on the (extended) core.  This is far too slow for
+CSIDH-512, but with the toy parameter sets it provides a true
+end-to-end check: protocol -> curve arithmetic -> field kernels ->
+custom instructions -> pipeline.
+
+The kernels implement *Montgomery* multiplication (``a*b*R^-1``), while
+the :class:`FieldContext` API is plain modular arithmetic; the adapter
+hides the domain conversion by folding in ``R^2`` per multiplication
+(costing one extra kernel run — irrelevant for a functional check).
+"""
+
+from __future__ import annotations
+
+from repro.field.counters import OpCounter
+from repro.field.fp import FieldContext
+from repro.kernels.registry import cached_kernels
+from repro.kernels.runner import KernelRunner
+from repro.kernels.spec import (
+    OP_FP_ADD,
+    OP_FP_MUL,
+    OP_FP_SQR,
+    OP_FP_SUB,
+)
+from repro.rv64.pipeline import PipelineConfig, ROCKET_CONFIG
+
+
+class SimulatedFieldContext(FieldContext):
+    """F_p arithmetic executed by simulator-hosted assembly kernels."""
+
+    def __init__(
+        self,
+        p: int,
+        *,
+        variant: str = "reduced.ise",
+        counter: OpCounter | None = None,
+        pipeline_config: PipelineConfig = ROCKET_CONFIG,
+        cross_check: bool = True,
+    ) -> None:
+        super().__init__(p, counter)
+        self.variant = variant
+        self.cross_check = cross_check
+        kernels = cached_kernels(p)
+
+        def runner(operation: str) -> KernelRunner:
+            return KernelRunner(
+                kernels[f"{operation}.{variant}"],
+                pipeline_config=pipeline_config,
+            )
+
+        self._mul = runner(OP_FP_MUL)
+        self._sqr = runner(OP_FP_SQR)
+        self._add = runner(OP_FP_ADD)
+        self._sub = runner(OP_FP_SUB)
+        ctx = self._mul.kernel.context
+        self._r2 = ctx.r2_mod_p
+        self.simulated_instructions = 0
+        self.simulated_cycles = 0
+
+    # -- kernel dispatch -----------------------------------------------------
+
+    def _run(self, runner: KernelRunner, *values: int) -> int:
+        run = runner.run(*values, check=self.cross_check)
+        self.simulated_instructions += run.instructions
+        self.simulated_cycles += run.cycles
+        return run.value
+
+    def mul(self, a: int, b: int) -> int:
+        self.counter.mul += 1
+        # plain product: mont(a, mont(b, R^2)) = a * b mod p
+        b_mont = self._run(self._mul, b % self.p, self._r2)
+        return self._run(self._mul, a % self.p, b_mont)
+
+    def sqr(self, a: int) -> int:
+        self.counter.sqr += 1
+        a_mont = self._run(self._mul, a % self.p, self._r2)
+        return self._run(self._mul, a % self.p, a_mont)
+
+    def add(self, a: int, b: int) -> int:
+        self.counter.add += 1
+        return self._run(self._add, a % self.p, b % self.p)
+
+    def sub(self, a: int, b: int) -> int:
+        self.counter.sub += 1
+        return self._run(self._sub, a % self.p, b % self.p)

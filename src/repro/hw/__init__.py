@@ -1,0 +1,60 @@
+"""Hardware cost model: base Rocket core + XMUL variants (Table 3)."""
+
+from repro.hw.components import (
+    AreaCost,
+    adder,
+    barrel_shifter,
+    control,
+    logic_gates,
+    multiplier,
+    mux,
+    register,
+)
+from repro.hw.core_model import BASE_CORE, CoreBlock, CoreModel, ROCKET_BLOCKS
+from repro.hw.timing import (
+    StageDelay,
+    TARGET_CLOCK_NS,
+    base_multiplier_stage,
+    critical_path_report,
+    xmul_extends_critical_path,
+    xmul_full_radix_stage2,
+    xmul_reduced_radix_stage2,
+)
+from repro.hw.xmul import (
+    FULL_RADIX_CORE,
+    REDUCED_RADIX_CORE,
+    XmulPart,
+    full_radix_extension,
+    full_radix_parts,
+    reduced_radix_extension,
+    reduced_radix_parts,
+)
+
+__all__ = [
+    "StageDelay",
+    "TARGET_CLOCK_NS",
+    "base_multiplier_stage",
+    "critical_path_report",
+    "xmul_extends_critical_path",
+    "xmul_full_radix_stage2",
+    "xmul_reduced_radix_stage2",
+    "AreaCost",
+    "adder",
+    "barrel_shifter",
+    "control",
+    "logic_gates",
+    "multiplier",
+    "mux",
+    "register",
+    "BASE_CORE",
+    "CoreBlock",
+    "CoreModel",
+    "ROCKET_BLOCKS",
+    "FULL_RADIX_CORE",
+    "REDUCED_RADIX_CORE",
+    "XmulPart",
+    "full_radix_extension",
+    "full_radix_parts",
+    "reduced_radix_extension",
+    "reduced_radix_parts",
+]

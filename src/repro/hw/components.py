@@ -1,0 +1,125 @@
+"""First-order hardware area model: component cost library.
+
+The paper reports Vivado synthesis results for an Artix-7 (LUTs, Regs,
+DSPs) and a CMOS gate-equivalent figure (Table 3).  Without an FPGA
+toolchain we estimate areas *structurally*: each datapath element gets a
+cost in both technology domains, using standard first-order figures:
+
+* a W-bit ripple/carry-lookahead adder maps to ~W LUTs (one LUT per bit
+  with carry chains) and ~9 GE/bit in CMOS;
+* a flip-flop is one FPGA register and ~7 GE;
+* a W-bit 2:1 mux is ~W/2 6-input LUTs and ~3 GE/bit;
+* a W-bit barrel shifter is log2(W) mux stages;
+* random control logic is counted per decoded signal.
+
+These coefficients are deliberately simple and visible; the experiment
+matching Table 3 compares the *composed deltas* (extended core minus
+base core) against the paper's, which is the paper's own headline claim
+(a ~10 % core overhead).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AreaCost:
+    """Area in both technology domains."""
+
+    luts: float = 0.0
+    regs: float = 0.0
+    dsps: float = 0.0
+    gates: float = 0.0  # CMOS NAND2 gate equivalents
+
+    def __add__(self, other: "AreaCost") -> "AreaCost":
+        return AreaCost(
+            self.luts + other.luts,
+            self.regs + other.regs,
+            self.dsps + other.dsps,
+            self.gates + other.gates,
+        )
+
+    def scaled(self, factor: float) -> "AreaCost":
+        return AreaCost(
+            self.luts * factor,
+            self.regs * factor,
+            self.dsps * factor,
+            self.gates * factor,
+        )
+
+    def rounded(self) -> "AreaCost":
+        return AreaCost(
+            round(self.luts), round(self.regs),
+            round(self.dsps), round(self.gates),
+        )
+
+
+ZERO_AREA = AreaCost()
+
+# technology coefficients (first-order, see module docstring)
+_GE_PER_FF = 7.0
+_GE_PER_ADDER_BIT = 9.0
+_GE_PER_MUX2_BIT = 3.0
+_GE_PER_XOR_BIT = 2.5
+_GE_PER_AND_BIT = 1.5
+_LUTS_PER_ADDER_BIT = 1.0
+_LUTS_PER_MUX2_BIT = 0.5
+_LUTS_PER_LOGIC_BIT = 0.5
+
+
+def adder(width: int) -> AreaCost:
+    """Carry-propagate adder."""
+    return AreaCost(
+        luts=_LUTS_PER_ADDER_BIT * width,
+        gates=_GE_PER_ADDER_BIT * width,
+    )
+
+
+def register(width: int) -> AreaCost:
+    """Pipeline/architectural register stage."""
+    return AreaCost(regs=width, gates=_GE_PER_FF * width)
+
+
+def mux(width: int, ways: int) -> AreaCost:
+    """*ways*:1 multiplexer, built from 2:1 stages."""
+    if ways < 2:
+        return ZERO_AREA
+    stages = ways - 1  # 2:1 muxes in a tree
+    return AreaCost(
+        luts=_LUTS_PER_MUX2_BIT * width * stages,
+        gates=_GE_PER_MUX2_BIT * width * stages,
+    )
+
+
+def barrel_shifter(width: int) -> AreaCost:
+    """Logarithmic shifter (used by ``sraiadd``'s variable shift)."""
+    stages = math.ceil(math.log2(width))
+    return mux(width, 2).scaled(stages)
+
+
+def logic_gates(width: int, *, kind: str = "and") -> AreaCost:
+    """A rank of 2-input gates (masking, XOR select networks)."""
+    per_bit = {"and": _GE_PER_AND_BIT, "xor": _GE_PER_XOR_BIT}[kind]
+    return AreaCost(
+        luts=_LUTS_PER_LOGIC_BIT * width,
+        gates=per_bit * width,
+    )
+
+
+def control(signals: int) -> AreaCost:
+    """Random decode/control logic, ~2 LUTs / 12 GE per signal."""
+    return AreaCost(luts=2.0 * signals, gates=12.0 * signals)
+
+
+def multiplier(width: int) -> AreaCost:
+    """A *width* x *width* pipelined integer multiplier.
+
+    On Artix-7 this maps onto DSP48 blocks: the 17-bit partial-product
+    tiling needs ``ceil(w/17)^2`` slices, i.e. 16 for a 64x64 multiply
+    (matching the Rocket baseline's DSP count).  In CMOS a radix-4
+    Booth array is roughly 6.5 GE per partial-product bit.
+    """
+    dsps = math.ceil(width / 17) ** 2
+    return AreaCost(dsps=dsps, gates=6.5 * width * width)

@@ -1,0 +1,106 @@
+"""First-order combinational-delay model (the clock-frequency claim).
+
+Sect. 3.3: "XMUL is implemented with a 2-stage pipeline ... XMUL does
+not extend the existing critical path and thus does not impact the
+clock frequency" (the system runs at 50 MHz on the Artix-7).
+
+We model each pipeline stage's combinational depth in *logic levels*
+(LUT levels on the FPGA; a gate level is ~0.9 ns on Artix-7 speed grade
+-1 including routing).  The base core's critical stage is the 64x64
+multiplier array stage; the XMUL additions (fused accumulate adder,
+mask/shift selects) sit in the *second* stage, in parallel with or
+after the compressed partial products, and stay shallower than the
+array stage — hence no frequency impact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: effective delay per logic level (ns), Artix-7 -1 incl. routing
+NS_PER_LEVEL = 0.9
+
+#: target clock of the paper's system (50 MHz -> 20 ns budget)
+TARGET_CLOCK_NS = 20.0
+
+
+@dataclass(frozen=True)
+class StageDelay:
+    """One pipeline stage's combinational depth."""
+
+    name: str
+    levels: float
+
+    @property
+    def nanoseconds(self) -> float:
+        return self.levels * NS_PER_LEVEL
+
+    def meets(self, budget_ns: float = TARGET_CLOCK_NS) -> bool:
+        return self.nanoseconds <= budget_ns
+
+
+def adder_levels(width: int) -> float:
+    """Carry-lookahead/compressor adder: ~log2(width) + 2 levels."""
+    return math.log2(max(width, 2)) + 2
+
+
+def multiplier_stage_levels(width: int) -> float:
+    """Booth partial-product generation + compression tree for one
+    pipeline stage of a *width* x *width* multiplier: the dominant
+    combinational path of the base core's execute stage."""
+    # Booth mux (2) + 4:2 compressor tree (~log1.5 of height) + final CPA
+    tree_levels = math.log(width / 2, 1.5)
+    return 2 + tree_levels + adder_levels(2 * width)
+
+
+def mux_levels(ways: int) -> float:
+    return math.ceil(math.log2(max(ways, 2)))
+
+
+def shifter_levels(width: int) -> float:
+    return math.ceil(math.log2(width))
+
+
+# -- stage composition ------------------------------------------------------
+
+def base_multiplier_stage() -> StageDelay:
+    """The existing Rocket multiplier stage (the reference path)."""
+    return StageDelay("base 64x64 multiplier stage",
+                      multiplier_stage_levels(64))
+
+
+def xmul_full_radix_stage2() -> StageDelay:
+    """Stage 2 of the full-radix XMUL: 128-bit fused accumulate +
+    hi/lo select + cadd carry tap."""
+    levels = adder_levels(128) + mux_levels(2) + 1
+    return StageDelay("XMUL full-radix stage 2", levels)
+
+
+def xmul_reduced_radix_stage2() -> StageDelay:
+    """Stage 2 of the reduced-radix XMUL: fixed 57-bit slice (wiring),
+    mask select, 64-bit accumulate, result select; the sraiadd path is
+    a barrel shifter plus adder, also within budget."""
+    madd_path = mux_levels(2) + adder_levels(64) + mux_levels(2)
+    sraiadd_path = shifter_levels(64) + adder_levels(64)
+    return StageDelay("XMUL reduced-radix stage 2",
+                      max(madd_path, sraiadd_path))
+
+
+def critical_path_report() -> dict[str, float]:
+    """Stage-delay summary in nanoseconds."""
+    stages = (
+        base_multiplier_stage(),
+        xmul_full_radix_stage2(),
+        xmul_reduced_radix_stage2(),
+    )
+    return {stage.name: round(stage.nanoseconds, 2) for stage in stages}
+
+
+def xmul_extends_critical_path() -> bool:
+    """The paper's claim, as a predicate: False (does NOT extend)."""
+    base = base_multiplier_stage().nanoseconds
+    return (
+        xmul_full_radix_stage2().nanoseconds > base
+        or xmul_reduced_radix_stage2().nanoseconds > base
+    )

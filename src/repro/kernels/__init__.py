@@ -1,0 +1,88 @@
+"""Generated assembly kernels for the four implementation variants.
+
+The paper's hand-written constant-time assembly is reproduced by
+*generators* that emit fully-unrolled RV64 assembly, parameterised on
+the field (so both CSIDH-512 and toy instances work):
+
+* :mod:`repro.kernels.fullradix` — 64-bit digits, Listings 1/3 MACs;
+* :mod:`repro.kernels.reducedradix` — 57-bit limbs, Listings 2/4 MACs,
+  delayed carries, ``sraiadd`` cascades;
+* :mod:`repro.kernels.registry` — the operation x variant matrix;
+* :mod:`repro.kernels.runner` — execution + golden-reference checking.
+"""
+
+from repro.kernels.builder import (
+    KERNEL_REGISTER_POOL,
+    KernelBuilder,
+    RegisterPool,
+)
+from repro.kernels.layout import (
+    ARG_A_ADDR,
+    ARG_B_ADDR,
+    CODE_BASE,
+    CONST_BASE,
+    ConstPoolLayout,
+    RESULT_ADDR,
+    SCRATCH_ADDR,
+)
+from repro.kernels.registry import (
+    build_all_kernels,
+    build_kernel,
+    cached_kernels,
+    make_contexts,
+)
+from repro.kernels.runner import KernelRun, KernelRunner, run_kernel
+from repro.kernels.spec import (
+    ALL_VARIANTS,
+    Kernel,
+    OP_FAST_REDUCE,
+    OP_FAST_REDUCE_ADD,
+    OP_FP_ADD,
+    OP_FP_MUL,
+    OP_FP_SQR,
+    OP_FP_SUB,
+    OP_INT_MUL,
+    OP_INT_SQR,
+    OP_MONT_REDC,
+    TABLE4_OPERATIONS,
+    VARIANT_FULL_ISA,
+    VARIANT_FULL_ISE,
+    VARIANT_REDUCED_ISA,
+    VARIANT_REDUCED_ISE,
+)
+
+__all__ = [
+    "KERNEL_REGISTER_POOL",
+    "KernelBuilder",
+    "RegisterPool",
+    "ARG_A_ADDR",
+    "ARG_B_ADDR",
+    "CODE_BASE",
+    "CONST_BASE",
+    "ConstPoolLayout",
+    "RESULT_ADDR",
+    "SCRATCH_ADDR",
+    "build_all_kernels",
+    "build_kernel",
+    "cached_kernels",
+    "make_contexts",
+    "KernelRun",
+    "KernelRunner",
+    "run_kernel",
+    "ALL_VARIANTS",
+    "Kernel",
+    "OP_FAST_REDUCE",
+    "OP_FAST_REDUCE_ADD",
+    "OP_FP_ADD",
+    "OP_FP_MUL",
+    "OP_FP_SQR",
+    "OP_FP_SUB",
+    "OP_INT_MUL",
+    "OP_INT_SQR",
+    "OP_MONT_REDC",
+    "TABLE4_OPERATIONS",
+    "VARIANT_FULL_ISA",
+    "VARIANT_FULL_ISE",
+    "VARIANT_REDUCED_ISA",
+    "VARIANT_REDUCED_ISE",
+]

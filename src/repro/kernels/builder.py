@@ -1,0 +1,108 @@
+"""Assembly-source builder used by the kernel generators.
+
+Generated kernels are fully unrolled straight-line functions (the paper:
+"we also unroll the loops fully"), so the builder is deliberately
+simple: it accumulates source lines, hands out scratch registers from an
+explicit pool, and tracks a few static statistics (instruction count per
+mnemonic) that the listing-count experiments consume.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import KernelError
+
+#: Registers a bare-metal kernel may freely use.  Everything except
+#: ``zero``, ``ra`` (return address), ``sp`` and ``a0`` (result pointer)
+#: is available; ``a1``/``a2`` come last so operand pointers are only
+#: recycled once the generator has consumed them.
+KERNEL_REGISTER_POOL: tuple[str, ...] = (
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+    "s10", "s11",
+    "a3", "a4", "a5", "a6", "a7",
+    "gp", "tp",
+    "a2", "a1",
+)
+
+
+class RegisterPool:
+    """Hands out named registers; raises when a kernel would spill."""
+
+    def __init__(self, reserved: tuple[str, ...] = ()) -> None:
+        self._free = [r for r in KERNEL_REGISTER_POOL if r not in reserved]
+        self._taken: dict[str, str] = {}
+
+    def take(self, purpose: str) -> str:
+        """Allocate one register, labelled with *purpose* for errors."""
+        if not self._free:
+            raise KernelError(
+                f"register pool exhausted allocating {purpose!r}; "
+                f"in use: {sorted(self._taken)}"
+            )
+        reg = self._free.pop(0)
+        self._taken[reg] = purpose
+        return reg
+
+    def take_many(self, count: int, purpose: str) -> list[str]:
+        return [self.take(f"{purpose}[{i}]") for i in range(count)]
+
+    def release(self, reg: str) -> None:
+        if reg not in self._taken:
+            raise KernelError(f"releasing register {reg} not in use")
+        del self._taken[reg]
+        self._free.insert(0, reg)
+
+    def release_many(self, regs: list[str]) -> None:
+        for reg in regs:
+            self.release(reg)
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+
+class KernelBuilder:
+    """Accumulates assembly lines and static statistics."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lines: list[str] = []
+        self.static_counts: Counter[str] = Counter()
+
+    def emit(self, line: str) -> None:
+        """Append one instruction (or several, ';'-separated)."""
+        for part in line.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            self._lines.append(f"    {part}")
+            mnemonic = part.split(None, 1)[0].lower()
+            self.static_counts[mnemonic] += 1
+
+    def emit_all(self, lines: list[str]) -> None:
+        for line in lines:
+            self.emit(line)
+
+    def comment(self, text: str) -> None:
+        self._lines.append(f"    # {text}")
+
+    def label(self, name: str) -> None:
+        self._lines.append(f"{name}:")
+
+    def load_immediate(self, reg: str, value: int) -> None:
+        self.emit(f"li {reg}, {value}")
+
+    def ret(self) -> None:
+        self.emit("ret")
+
+    @property
+    def static_instructions(self) -> int:
+        """Static instruction count (pseudo-ops counted pre-expansion)."""
+        return sum(self.static_counts.values())
+
+    def build(self) -> str:
+        """Return the finished assembly source."""
+        header = f"# kernel: {self.name}\n"
+        return header + "\n".join(self._lines) + "\n"

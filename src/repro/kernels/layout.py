@@ -1,0 +1,56 @@
+"""Memory layout conventions shared by kernel generators and the runner.
+
+Kernels follow a minimal bare-metal calling convention:
+
+* ``a0`` — pointer to the result buffer;
+* ``a1`` — pointer to the first operand;
+* ``a2`` — pointer to the second operand (when present);
+* ``ra`` — return address (the machine plants its halt sentinel there).
+
+Field constants (modulus limbs, the Montgomery factor ``n0' = -p^-1``
+and the limb mask) live in a constant pool at a fixed address baked into
+the kernel code, mirroring how the paper's assembly functions reference
+the CSIDH-512 modulus as global data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Base address of the constant pool (fits a single ``lui``).
+CONST_BASE = 0x2000
+
+#: Default operand placement chosen by the runner (kernels are agnostic).
+#: The buffers are deliberately staggered across cache-set offsets: with
+#: page-aligned bases they would all alias into the same 4-way sets of
+#: the 16 kB D$ and thrash (5 live regions > 4 ways).
+ARG_A_ADDR = 0x0001_0000
+ARG_B_ADDR = 0x0001_1200
+RESULT_ADDR = 0x0001_2400
+SCRATCH_ADDR = 0x0001_3600
+
+#: Code is loaded here.
+CODE_BASE = 0x0000_1000
+
+
+@dataclass(frozen=True)
+class ConstPoolLayout:
+    """Offsets (bytes from CONST_BASE) of the field constants."""
+
+    limbs: int
+
+    @property
+    def modulus_offset(self) -> int:
+        return 0
+
+    @property
+    def n0_offset(self) -> int:
+        return 8 * self.limbs
+
+    @property
+    def mask_offset(self) -> int:
+        return 8 * self.limbs + 8
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 * self.limbs + 16

@@ -1,0 +1,287 @@
+"""Kernel registry: generate every Table-4 kernel for a field context.
+
+:func:`build_kernel` produces a single kernel; :func:`build_all_kernels`
+produces the full matrix used by the evaluation harness:
+
+====================  ========================================
+operation             variants
+====================  ========================================
+int_mul, int_sqr      full/reduced x isa/ise
+mont_redc             full/reduced x isa/ise
+fast_reduce           full/reduced x isa/ise  (swap-based)
+fast_reduce_add       full/reduced x isa/ise  (E5 ablation)
+int_mul_os            full x isa/ise          (E15 ablation)
+fp_add, fp_sub        full/reduced x isa/ise
+fp_mul, fp_sqr        full/reduced x isa/ise  (composites)
+====================  ========================================
+
+Generators switch automatically between register-resident and
+operand-streaming code depending on the operand width (DESIGN.md E9).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.ise import FULL_RADIX_ISA, REDUCED_RADIX_ISA
+from repro.errors import KernelError
+from repro.kernels import fullradix, reducedradix
+from repro.kernels.builder import KernelBuilder
+from repro.kernels.layout import SCRATCH_ADDR
+from repro.kernels.spec import (
+    ALL_VARIANTS,
+    Kernel,
+    OP_FAST_REDUCE,
+    OP_FAST_REDUCE_ADD,
+    OP_INT_MUL_OS,
+    OP_FP_ADD,
+    OP_FP_MUL,
+    OP_FP_SQR,
+    OP_FP_SUB,
+    OP_INT_MUL,
+    OP_INT_SQR,
+    OP_MONT_REDC,
+)
+from repro.mpi.montgomery import MontgomeryContext
+from repro.mpi.representation import (
+    full_radix_for,
+    reduced_radix_for,
+)
+from repro.rv64.isa import BASE_ISA, InstructionSet
+
+
+def _isa_for(variant: str) -> InstructionSet:
+    if variant.endswith(".isa"):
+        return BASE_ISA
+    if variant.startswith("full."):
+        return FULL_RADIX_ISA
+    return REDUCED_RADIX_ISA
+
+
+def _module_for(variant: str):
+    return fullradix if variant.startswith("full.") else reducedradix
+
+
+# ---------------------------------------------------------------------------
+# Reference semantics and samplers
+# ---------------------------------------------------------------------------
+
+def _make_reference(operation: str, ctx: MontgomeryContext):
+    p = ctx.modulus
+    radix = ctx.radix
+
+    if operation in (OP_INT_MUL, OP_INT_MUL_OS):
+        return lambda a, b: a * b
+    if operation == OP_INT_SQR:
+        return lambda a: a * a
+    if operation == OP_MONT_REDC:
+        return lambda t: radix.from_limbs(
+            ctx.sps_reduce(radix.to_limbs(t, limbs=2 * radix.limbs)).limbs
+        )
+    if operation in (OP_FAST_REDUCE, OP_FAST_REDUCE_ADD):
+        return lambda a: a % p
+    if operation == OP_FP_ADD:
+        return lambda a, b: (a + b) % p
+    if operation == OP_FP_SUB:
+        return lambda a, b: (a - b) % p
+    if operation == OP_FP_MUL:
+        return lambda a, b: ctx.montgomery_multiply(a, b)
+    if operation == OP_FP_SQR:
+        return lambda a: ctx.montgomery_multiply(a, a)
+    raise KernelError(f"unknown operation {operation!r}")
+
+
+def _make_sampler(operation: str, ctx: MontgomeryContext):
+    p = ctx.modulus
+    limbs = ctx.radix.limbs
+    capacity = 1 << ctx.radix.capacity_bits
+
+    if operation in (OP_INT_MUL, OP_INT_MUL_OS, OP_FP_ADD,
+                     OP_FP_SUB, OP_FP_MUL):
+        return lambda rng: (rng.randrange(p), rng.randrange(p))
+    if operation in (OP_INT_SQR, OP_FP_SQR):
+        return lambda rng: (rng.randrange(p),)
+    if operation == OP_MONT_REDC:
+        # any T < p * R reduces correctly; products are the real workload
+        return lambda rng: (rng.randrange(p) * rng.randrange(p),)
+    if operation in (OP_FAST_REDUCE, OP_FAST_REDUCE_ADD):
+        return lambda rng: (rng.randrange(min(2 * p, capacity)),)
+    raise KernelError(f"unknown operation {operation!r}")
+
+
+def _shapes(operation: str, limbs: int) -> tuple[tuple[int, ...], int]:
+    """(input limb counts, output limb count) per operation."""
+    table = {
+        OP_INT_MUL: ((limbs, limbs), 2 * limbs),
+        OP_INT_MUL_OS: ((limbs, limbs), 2 * limbs),
+        OP_INT_SQR: ((limbs,), 2 * limbs),
+        OP_MONT_REDC: ((2 * limbs,), limbs),
+        OP_FAST_REDUCE: ((limbs,), limbs),
+        OP_FAST_REDUCE_ADD: ((limbs,), limbs),
+        OP_FP_ADD: ((limbs, limbs), limbs),
+        OP_FP_SUB: ((limbs, limbs), limbs),
+        OP_FP_MUL: ((limbs, limbs), limbs),
+        OP_FP_SQR: ((limbs,), limbs),
+    }
+    return table[operation]
+
+
+# ---------------------------------------------------------------------------
+# Source generation
+# ---------------------------------------------------------------------------
+
+def _emit_operation(
+    b: KernelBuilder,
+    operation: str,
+    ctx: MontgomeryContext,
+    variant: str,
+) -> None:
+    module = _module_for(variant)
+    use_ise = variant.endswith(".ise")
+    limbs = ctx.radix.limbs
+
+    if operation == OP_INT_MUL:
+        module.emit_int_mul_body(b, ctx, use_ise=use_ise)
+    elif operation == OP_INT_MUL_OS:
+        if not variant.startswith("full."):
+            raise KernelError(
+                "operand scanning is generated for full radix only")
+        fullradix.emit_int_mul_operand_scanning_body(
+            b, ctx, use_ise=use_ise)
+    elif operation == OP_INT_SQR:
+        module.emit_int_mul_body(b, ctx, use_ise=use_ise, square=True,
+                                 bptr="a1")
+    elif operation == OP_MONT_REDC:
+        module.emit_mont_redc_body(b, ctx, use_ise=use_ise)
+    elif operation == OP_FAST_REDUCE:
+        if variant.startswith("full."):
+            module.emit_fast_reduce_body(b, ctx, swap_based=True)
+        else:
+            module.emit_fast_reduce_body(b, ctx, use_ise=use_ise,
+                                         swap_based=True)
+    elif operation == OP_FAST_REDUCE_ADD:
+        if variant.startswith("full."):
+            module.emit_fast_reduce_body(b, ctx, swap_based=False)
+        else:
+            module.emit_fast_reduce_body(b, ctx, use_ise=use_ise,
+                                         swap_based=False)
+    elif operation == OP_FP_ADD:
+        if variant.startswith("full."):
+            module.emit_fp_add_body(b, ctx)
+        else:
+            module.emit_fp_add_body(b, ctx, use_ise=use_ise)
+    elif operation == OP_FP_SUB:
+        if variant.startswith("full."):
+            module.emit_fp_sub_body(b, ctx)
+        else:
+            module.emit_fp_sub_body(b, ctx, use_ise=use_ise)
+    elif operation in (OP_FP_MUL, OP_FP_SQR):
+        _emit_fp_mul_composite(b, ctx, variant,
+                               square=(operation == OP_FP_SQR),
+                               limbs=limbs)
+    else:
+        raise KernelError(f"unknown operation {operation!r}")
+
+
+def _emit_fp_mul_composite(
+    b: KernelBuilder,
+    ctx: MontgomeryContext,
+    variant: str,
+    *,
+    square: bool,
+    limbs: int,
+) -> None:
+    """Fp-multiplication as the paper composes it: integer product ->
+    SPS Montgomery reduction -> fast modulo-p reduction (Table 4's
+    Fp-mul row is, to within call overhead, the sum of those rows)."""
+    module = _module_for(variant)
+    use_ise = variant.endswith(".ise")
+    t_addr = SCRATCH_ADDR                       # 2l-limb product
+    u_addr = SCRATCH_ADDR + 16 * limbs + 64    # l-limb reduced value
+
+    b.comment("phase 1: T = A * B (product scanning)")
+    b.emit(f"li a3, {t_addr}")
+    module.emit_int_mul_body(b, ctx, use_ise=use_ise, rptr="a3",
+                             aptr="a1", bptr="a1" if square else "a2",
+                             square=square)
+    b.comment("phase 2: U = T * R^-1 mod p  (SPS Montgomery reduction)")
+    b.emit(f"li a4, {u_addr}")
+    module.emit_mont_redc_body(b, ctx, use_ise=use_ise, rptr="a4",
+                               tptr="a3")
+    b.comment("phase 3: R = U fully reduced to [0, p)")
+    if variant.startswith("full."):
+        module.emit_fast_reduce_body(b, ctx, swap_based=True,
+                                     rptr="a0", aptr="a4")
+    else:
+        module.emit_fast_reduce_body(b, ctx, use_ise=use_ise,
+                                     swap_based=True, rptr="a0",
+                                     aptr="a4")
+
+
+def build_kernel(
+    operation: str,
+    variant: str,
+    ctx: MontgomeryContext,
+) -> Kernel:
+    """Generate one kernel (assembly source + metadata)."""
+    if variant not in ALL_VARIANTS:
+        raise KernelError(f"unknown variant {variant!r}")
+    name = f"{operation}.{variant}"
+    b = KernelBuilder(name)
+    _emit_operation(b, operation, ctx, variant)
+    b.ret()
+    inputs, outputs = _shapes(operation, ctx.radix.limbs)
+    return Kernel(
+        name=name,
+        operation=operation,
+        variant=variant,
+        source=b.build(),
+        isa=_isa_for(variant),
+        context=ctx,
+        input_limbs=inputs,
+        output_limbs=outputs,
+        reference=_make_reference(operation, ctx),
+        sampler=_make_sampler(operation, ctx),
+        static_counts=b.static_counts,
+    )
+
+
+def make_contexts(
+    modulus: int,
+) -> tuple[MontgomeryContext, MontgomeryContext]:
+    """(full-radix, reduced-radix) Montgomery contexts for *modulus*."""
+    bits = modulus.bit_length()
+    full = MontgomeryContext(modulus, full_radix_for(bits + 1))
+    reduced = MontgomeryContext(modulus, reduced_radix_for(bits + 2))
+    return full, reduced
+
+
+_GENERATED_OPERATIONS = (
+    OP_INT_MUL, OP_INT_SQR, OP_MONT_REDC, OP_FAST_REDUCE,
+    OP_FAST_REDUCE_ADD, OP_FP_ADD, OP_FP_SUB, OP_FP_MUL, OP_FP_SQR,
+)
+
+#: operations generated only for the full-radix variants
+_FULL_ONLY_OPERATIONS = (OP_INT_MUL_OS,)
+
+
+def build_all_kernels(modulus: int) -> dict[str, Kernel]:
+    """The full kernel matrix for *modulus*, keyed by kernel name."""
+    full_ctx, reduced_ctx = make_contexts(modulus)
+    kernels: dict[str, Kernel] = {}
+    for operation in _GENERATED_OPERATIONS:
+        for variant in ALL_VARIANTS:
+            ctx = full_ctx if variant.startswith("full.") else reduced_ctx
+            kernel = build_kernel(operation, variant, ctx)
+            kernels[kernel.name] = kernel
+    for operation in _FULL_ONLY_OPERATIONS:
+        for variant in ("full.isa", "full.ise"):
+            kernel = build_kernel(operation, variant, full_ctx)
+            kernels[kernel.name] = kernel
+    return kernels
+
+
+@lru_cache(maxsize=4)
+def cached_kernels(modulus: int) -> dict[str, Kernel]:
+    """Memoised :func:`build_all_kernels` (generation is pure)."""
+    return build_all_kernels(modulus)

@@ -1,0 +1,65 @@
+"""Multi-precision integer (MPI) reference arithmetic substrate.
+
+Pure-Python, limb-exact models of every algorithm the assembly kernels
+implement: representations (full/reduced radix), scanning multipliers,
+Karatsuba, Montgomery SPS reduction, and the two fast modulo-p
+reductions of Algorithms 1 and 2.
+"""
+
+from repro.mpi.arithmetic import (
+    MpiResult,
+    WorkCount,
+    compare,
+    karatsuba_mul,
+    mpi_add,
+    mpi_add_delayed,
+    mpi_sub,
+    operand_scanning_mul,
+    product_scanning_mul,
+    product_scanning_sqr,
+)
+from repro.mpi.fastred import (
+    FastReduceResult,
+    fast_reduce_addition_based,
+    fast_reduce_subtraction,
+    fast_reduce_swap_based,
+)
+from repro.mpi.montgomery import MontgomeryContext, invert_mod
+from repro.mpi.primality import first_odd_primes, is_prime
+from repro.mpi.representation import (
+    CSIDH512_FULL,
+    CSIDH512_REDUCED,
+    FULL_RADIX_BITS,
+    REDUCED_RADIX_BITS,
+    Radix,
+    full_radix_for,
+    reduced_radix_for,
+)
+
+__all__ = [
+    "MpiResult",
+    "WorkCount",
+    "compare",
+    "karatsuba_mul",
+    "mpi_add",
+    "mpi_add_delayed",
+    "mpi_sub",
+    "operand_scanning_mul",
+    "product_scanning_mul",
+    "product_scanning_sqr",
+    "FastReduceResult",
+    "fast_reduce_addition_based",
+    "fast_reduce_subtraction",
+    "fast_reduce_swap_based",
+    "MontgomeryContext",
+    "invert_mod",
+    "first_odd_primes",
+    "is_prime",
+    "CSIDH512_FULL",
+    "CSIDH512_REDUCED",
+    "FULL_RADIX_BITS",
+    "REDUCED_RADIX_BITS",
+    "Radix",
+    "full_radix_for",
+    "reduced_radix_for",
+]

@@ -1,0 +1,239 @@
+"""Reference MPI algorithms: scanning multiplications, Karatsuba, add/sub.
+
+These limb-level algorithms mirror exactly what the generated assembly
+kernels compute, so tests can compare intermediate structure (e.g. MAC
+counts per column) and not just final values.  All functions operate on
+little-endian limb vectors under a :class:`~repro.mpi.representation.Radix`
+and also report the work performed, which feeds the E4 ablation
+(product scanning vs. Karatsuba, Sect. 3.1/4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.mpi.representation import Radix
+
+
+@dataclass
+class WorkCount:
+    """Primitive-operation tally of one MPI routine."""
+
+    macs: int = 0          # w x w -> 2w multiply-accumulate operations
+    word_adds: int = 0     # single-word additions/subtractions
+    word_shifts: int = 0   # single-word shift/mask operations
+
+    def __add__(self, other: "WorkCount") -> "WorkCount":
+        return WorkCount(
+            self.macs + other.macs,
+            self.word_adds + other.word_adds,
+            self.word_shifts + other.word_shifts,
+        )
+
+
+@dataclass
+class MpiResult:
+    """Limb-vector result of a reference routine plus its work count."""
+
+    limbs: list[int]
+    work: WorkCount = field(default_factory=WorkCount)
+
+
+def _check_same_length(a: list[int], b: list[int]) -> None:
+    if len(a) != len(b):
+        raise ParameterError(
+            f"operand length mismatch: {len(a)} vs {len(b)} limbs"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Multiplication
+# ---------------------------------------------------------------------------
+
+def product_scanning_mul(
+    radix: Radix, a: list[int], b: list[int]
+) -> MpiResult:
+    """Column-wise (product-scanning) multiplication.
+
+    Computes the full ``2l``-limb product; each output limb is finalised
+    once, exactly as the unrolled kernels do, with the accumulator
+    playing the role of the paper's ``(e || h || l)`` registers.
+    """
+    _check_same_length(a, b)
+    l = len(a)
+    work = WorkCount()
+    out = [0] * (2 * l)
+    acc = 0
+    for k in range(2 * l - 1):
+        lo = max(0, k - l + 1)
+        hi = min(k, l - 1)
+        for i in range(lo, hi + 1):
+            acc += a[i] * b[k - i]
+            work.macs += 1
+        out[k] = acc & radix.mask
+        acc >>= radix.bits
+        work.word_shifts += 1
+    out[2 * l - 1] = acc
+    return MpiResult(out, work)
+
+
+def operand_scanning_mul(
+    radix: Radix, a: list[int], b: list[int]
+) -> MpiResult:
+    """Row-wise (operand-scanning) multiplication."""
+    _check_same_length(a, b)
+    l = len(a)
+    work = WorkCount()
+    out = [0] * (2 * l)
+    for i in range(l):
+        carry = 0
+        for j in range(l):
+            total = out[i + j] + a[i] * b[j] + carry
+            work.macs += 1
+            work.word_adds += 1
+            out[i + j] = total & radix.mask
+            carry = total >> radix.bits
+        out[i + l] = carry
+    return MpiResult(out, work)
+
+
+def karatsuba_mul(
+    radix: Radix, a: list[int], b: list[int], *, threshold: int = 2
+) -> MpiResult:
+    """Subtractive Karatsuba multiplication over limb vectors.
+
+    Uses the subtractive middle term ``|a_lo - a_hi| * |b_hi - b_lo|``
+    so operands never grow a limb; recursion stops at *threshold* limbs
+    and falls back to product scanning.  The work counter includes the
+    split/recombination add/sub passes, which is what makes Karatsuba
+    lose to product scanning at 8 limbs on RV64GC (the paper's E4
+    observation: the extra carried additions are expensive without a
+    carry flag).
+    """
+    _check_same_length(a, b)
+    l = len(a)
+    if l <= threshold:
+        return product_scanning_mul(radix, a, b)
+
+    half = l // 2
+    size = l - half  # high half may be one limb longer for odd l
+
+    def _pad(v: list[int]) -> list[int]:
+        return v + [0] * (size - len(v))
+
+    a_lo, a_hi = _pad(a[:half]), a[half:]
+    b_lo, b_hi = _pad(b[:half]), b[half:]
+
+    low = karatsuba_mul(radix, a_lo, b_lo, threshold=threshold)
+    high = karatsuba_mul(radix, a_hi, b_hi, threshold=threshold)
+    work = low.work + high.work
+
+    # |a_lo - a_hi| and |b_hi - b_lo| stay within `size` limbs.
+    da = radix.from_limbs(a_lo) - radix.from_limbs(a_hi)
+    db = radix.from_limbs(b_hi) - radix.from_limbs(b_lo)
+    work.word_adds += 4 * size  # two MPI subtractions with borrows
+    diff_a = radix.to_limbs(abs(da), limbs=size)
+    diff_b = radix.to_limbs(abs(db), limbs=size)
+    middle = karatsuba_mul(radix, diff_a, diff_b, threshold=threshold)
+    work = work + middle.work
+
+    sign = 1 if (da >= 0) == (db >= 0) else -1
+    low_value = radix.from_limbs(low.limbs)
+    high_value = radix.from_limbs(high.limbs)
+    middle_value = low_value + high_value + sign * radix.from_limbs(
+        middle.limbs
+    )
+    value = (
+        low_value
+        + (middle_value << (radix.bits * half))
+        + (high_value << (radix.bits * 2 * half))
+    )
+    work.word_adds += 6 * size  # recombination add/sub passes w/ carries
+    out = radix.to_limbs(value, limbs=2 * l)
+    return MpiResult(out, work)
+
+
+def product_scanning_sqr(radix: Radix, a: list[int]) -> MpiResult:
+    """Column-wise squaring using the cross-term doubling trick.
+
+    Each off-diagonal product is computed once and doubled, so an
+    ``l``-limb squaring needs ``l*(l+1)/2`` MACs instead of ``l^2``
+    (the reason Table 4 squaring is cheaper than multiplication).
+    """
+    l = len(a)
+    work = WorkCount()
+    out = [0] * (2 * l)
+    acc = 0
+    for k in range(2 * l - 1):
+        lo = max(0, k - l + 1)
+        hi = min(k, l - 1)
+        for i in range(lo, hi + 1):
+            j = k - i
+            if i > j:
+                break
+            term = a[i] * a[j]
+            if i != j:
+                term <<= 1
+                work.word_shifts += 1
+            acc += term
+            work.macs += 1
+        out[k] = acc & radix.mask
+        acc >>= radix.bits
+        work.word_shifts += 1
+    out[2 * l - 1] = acc
+    return MpiResult(out, work)
+
+
+# ---------------------------------------------------------------------------
+# Addition / subtraction
+# ---------------------------------------------------------------------------
+
+def mpi_add(radix: Radix, a: list[int], b: list[int]) -> MpiResult:
+    """Limb-wise addition with full carry propagation; returns l+1 limbs."""
+    _check_same_length(a, b)
+    work = WorkCount()
+    out = []
+    carry = 0
+    for x, y in zip(a, b):
+        total = x + y + carry
+        out.append(total & radix.mask)
+        carry = total >> radix.bits
+        work.word_adds += 2
+    out.append(carry)
+    return MpiResult(out, work)
+
+
+def mpi_add_delayed(radix: Radix, a: list[int], b: list[int]) -> MpiResult:
+    """Reduced-radix addition with *delayed* carries (limb-wise only).
+
+    Valid only when each limb has headroom (bits < 64); this is the
+    cheap Fp-addition path the paper credits to reduced radix.
+    """
+    _check_same_length(a, b)
+    if radix.bits >= 64:
+        raise ParameterError("delayed-carry addition needs limb headroom")
+    work = WorkCount(word_adds=len(a))
+    return MpiResult([x + y for x, y in zip(a, b)], work)
+
+
+def mpi_sub(radix: Radix, a: list[int], b: list[int]) -> MpiResult:
+    """Limb-wise subtraction; final limb of the output is the borrow
+    indicator (0 if a >= b, else -1 folded into the top)."""
+    _check_same_length(a, b)
+    work = WorkCount()
+    out = []
+    borrow = 0
+    for x, y in zip(a, b):
+        total = x - y - borrow
+        out.append(total & radix.mask)
+        borrow = 1 if total < 0 else 0
+        work.word_adds += 2
+    out.append(-borrow)
+    return MpiResult(out, work)
+
+
+def compare(radix: Radix, a: list[int], b: list[int]) -> int:
+    """Three-way comparison of two limb vectors: -1, 0, or +1."""
+    va, vb = radix.from_limbs(a), radix.from_limbs(b)
+    return (va > vb) - (va < vb)

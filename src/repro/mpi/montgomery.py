@@ -1,0 +1,155 @@
+"""Montgomery arithmetic reference model (Sect. 3.1 of the paper).
+
+Montgomery multiplication maps operands into the residue ring
+``Z_p`` scaled by ``R = 2^(w*l)`` so that the modular reduction becomes
+word-level shifting.  The paper implements the *separated* product-
+scanning form: integer product, then an SPS (separated product
+scanning) Montgomery reduction, then a fast modulo-p reduction to the
+canonical range — matching Table 4's row structure.
+
+:class:`MontgomeryContext` is the reference implementation the assembly
+kernels are verified against; it also exposes the per-phase quotient
+digits so kernel tests can compare internal state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.mpi.arithmetic import MpiResult, WorkCount
+from repro.mpi.representation import Radix
+
+
+def invert_mod(value: int, modulus: int) -> int:
+    """Modular inverse via extended Euclid; raises if not invertible."""
+    r0, r1 = modulus, value % modulus
+    s0, s1 = 0, 1
+    while r1:
+        q = r0 // r1
+        r0, r1 = r1, r0 - q * r1
+        s0, s1 = s1, s0 - q * s1
+    if r0 != 1:
+        raise ParameterError(f"{value} is not invertible mod {modulus}")
+    return s0 % modulus
+
+
+@dataclass(frozen=True)
+class MontgomeryContext:
+    """Precomputed constants for Montgomery arithmetic over *modulus*."""
+
+    modulus: int
+    radix: Radix
+
+    def __post_init__(self) -> None:
+        if self.modulus % 2 == 0 or self.modulus < 3:
+            raise ParameterError("modulus must be odd and >= 3")
+        if self.modulus >> self.radix.capacity_bits:
+            raise ParameterError(
+                "modulus does not fit the radix representation"
+            )
+
+    @property
+    def r(self) -> int:
+        """The Montgomery radix R = 2^(bits*limbs)."""
+        return 1 << self.radix.capacity_bits
+
+    @property
+    def r_mod_p(self) -> int:
+        return self.r % self.modulus
+
+    @property
+    def r2_mod_p(self) -> int:
+        """R^2 mod p — the to-Montgomery conversion constant."""
+        return (self.r * self.r) % self.modulus
+
+    @property
+    def n0_inv(self) -> int:
+        """``p' = -p^-1 mod 2^bits`` (the per-word reduction factor)."""
+        base = 1 << self.radix.bits
+        return (-invert_mod(self.modulus, base)) % base
+
+    @property
+    def modulus_limbs(self) -> list[int]:
+        return self.radix.to_limbs(self.modulus)
+
+    # -- conversions -------------------------------------------------------
+
+    def to_montgomery(self, value: int) -> int:
+        """Map ``x -> x*R mod p``."""
+        return (value * self.r) % self.modulus
+
+    def from_montgomery(self, value: int) -> int:
+        """Map ``x*R -> x`` (one Montgomery reduction of the bare value)."""
+        return (value * invert_mod(self.r, self.modulus)) % self.modulus
+
+    # -- reference reduction -------------------------------------------------
+
+    def sps_reduce(self, t: list[int]) -> MpiResult:
+        """Separated-product-scanning Montgomery reduction.
+
+        Input: ``2l`` limbs of ``T < p*R``.  Output: ``l+1`` limbs of
+        ``T*R^-1 mod p`` in ``[0, 2p)`` (the extra limb is the final
+        carry, at most 1 for full radix).  This limb-level walk mirrors
+        the generated reduction kernels column for column.
+        """
+        radix = self.radix
+        l = radix.limbs
+        if len(t) != 2 * l:
+            raise ParameterError(
+                f"reduction input must have {2 * l} limbs, got {len(t)}"
+            )
+        p = self.modulus_limbs
+        n0 = self.n0_inv
+        work = WorkCount()
+
+        q: list[int] = []
+        acc = 0
+        for i in range(l):
+            acc += t[i]
+            work.word_adds += 1
+            for j in range(i):
+                acc += q[j] * p[i - j]
+                work.macs += 1
+            qi = ((acc & radix.mask) * n0) & radix.mask
+            q.append(qi)
+            acc += qi * p[0]
+            work.macs += 1
+            if acc & radix.mask:
+                raise ParameterError("reduction invariant violated")
+            acc >>= radix.bits
+            work.word_shifts += 1
+
+        out: list[int] = []
+        for i in range(l, 2 * l):
+            acc += t[i]
+            work.word_adds += 1
+            for j in range(i - l + 1, l):
+                acc += q[j] * p[i - j]
+                work.macs += 1
+            out.append(acc & radix.mask)
+            acc >>= radix.bits
+            work.word_shifts += 1
+        out.append(acc)
+        return MpiResult(out, work)
+
+    def montgomery_multiply(self, a: int, b: int) -> int:
+        """Full reference: ``a*b*R^-1 mod p`` for a, b in ``[0, p)``."""
+        if not (0 <= a < self.modulus and 0 <= b < self.modulus):
+            raise ParameterError("operands must be reduced mod p")
+        from repro.mpi.arithmetic import product_scanning_mul
+
+        radix = self.radix
+        t = product_scanning_mul(
+            radix, radix.to_limbs(a), radix.to_limbs(b)
+        )
+        reduced = self.sps_reduce(t.limbs)
+        value = radix.from_limbs(reduced.limbs)
+        if value >= self.modulus:
+            value -= self.modulus
+        return value
+
+    def verify_against_plain(self, a: int, b: int) -> bool:
+        """Cross-check the limb-level path against plain modular math."""
+        expected = (a * b * invert_mod(self.r, self.modulus)) % self.modulus
+        return self.montgomery_multiply(a, b) == expected

@@ -1,0 +1,112 @@
+"""Multi-precision integer representations: full-radix and reduced-radix.
+
+The paper compares two ways of splitting an *n*-bit integer across
+machine words (Sect. 1):
+
+* **full-radix** — ``w = 64`` bits per digit, ``l = ceil(n/64)`` digits;
+  for CSIDH-512 (511-bit prime): 8 digits;
+* **reduced-radix** — ``w = 57`` bits per limb (radix 2^57), 9 limbs;
+  the slack bits absorb delayed carries.
+
+A :class:`Radix` bundles the limb width and count and converts between
+Python integers and limb vectors.  Reduced-radix vectors may be
+*non-canonical* (limbs exceeding ``2^57``) while carries are delayed;
+:meth:`Radix.canonicalize` performs the deferred propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+FULL_RADIX_BITS = 64
+REDUCED_RADIX_BITS = 57
+
+
+@dataclass(frozen=True)
+class Radix:
+    """A limb representation: *bits* per limb, *limbs* per operand."""
+
+    bits: int
+    limbs: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 64:
+            raise ParameterError(f"limb width {self.bits} not in [1, 64]")
+        if self.limbs < 1:
+            raise ParameterError(f"limb count {self.limbs} must be >= 1")
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total bits representable canonically."""
+        return self.bits * self.limbs
+
+    @property
+    def is_full(self) -> bool:
+        return self.bits == FULL_RADIX_BITS
+
+    def to_limbs(self, value: int, *, limbs: int | None = None) -> list[int]:
+        """Split non-negative *value* into canonical limbs, little-endian."""
+        if value < 0:
+            raise ParameterError("cannot represent a negative integer")
+        count = self.limbs if limbs is None else limbs
+        if value >> (self.bits * count):
+            raise ParameterError(
+                f"{value.bit_length()}-bit value exceeds "
+                f"{count} x {self.bits}-bit limbs"
+            )
+        out = []
+        for _ in range(count):
+            out.append(value & self.mask)
+            value >>= self.bits
+        return out
+
+    def from_limbs(self, limbs: list[int]) -> int:
+        """Recombine limbs (canonical or not) into a Python integer.
+
+        Limbs are weighted by ``2^(bits*i)``; oversized or negative limbs
+        are folded in arithmetically, so delayed-carry vectors evaluate
+        to the value they denote.
+        """
+        total = 0
+        for index, limb in enumerate(limbs):
+            total += limb << (self.bits * index)
+        return total
+
+    def is_canonical(self, limbs: list[int]) -> bool:
+        """True if every limb lies in ``[0, 2^bits)``."""
+        return all(0 <= limb <= self.mask for limb in limbs)
+
+    def canonicalize(self, limbs: list[int]) -> list[int]:
+        """Propagate delayed carries; value must be non-negative and fit."""
+        value = self.from_limbs(limbs)
+        return self.to_limbs(value, limbs=len(limbs))
+
+    def random(self, rng, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` from the given RNG."""
+        return rng.randrange(bound)
+
+
+def full_radix_for(bit_length: int) -> Radix:
+    """Full-radix representation covering *bit_length* bits."""
+    limbs = -(-bit_length // FULL_RADIX_BITS)
+    return Radix(FULL_RADIX_BITS, limbs, name=f"full-{limbs}x64")
+
+
+def reduced_radix_for(
+    bit_length: int, limb_bits: int = REDUCED_RADIX_BITS
+) -> Radix:
+    """Reduced-radix representation covering *bit_length* bits."""
+    limbs = -(-bit_length // limb_bits)
+    return Radix(limb_bits, limbs, name=f"reduced-{limbs}x{limb_bits}")
+
+
+#: CSIDH-512 representations used throughout the paper (Sect. 3).
+CSIDH512_FULL = full_radix_for(512)          # 8 x 64-bit digits
+CSIDH512_REDUCED = reduced_radix_for(513)    # 9 x 57-bit limbs

@@ -1,0 +1,302 @@
+"""Two-pass textual assembler for the RV64 simulator.
+
+Accepts standard RISC-V assembly syntax for the implemented subset:
+
+* one instruction or label per line; comments start with ``#`` or ``//``;
+* labels are ``name:`` and may be referenced by branch/jump operands;
+* ABI and architectural register names are both accepted;
+* immediates may be decimal, hex (``0x``), binary (``0b``) or octal, with
+  an optional sign;
+* common pseudo-instructions are expanded (``li``, ``mv``, ``not``,
+  ``neg``, ``nop``, ``seqz``, ``snez``, ``beqz``, ``bnez``, ``j``,
+  ``jr``, ``ret``).
+
+The assembler is driven by the :class:`InstructionSet` it is given, so
+ISE mnemonics registered by :mod:`repro.core` assemble with no changes
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError, ReproError
+from repro.rv64.bits import fits_signed, sign_extend
+from repro.rv64.isa import (
+    FMT_B,
+    FMT_I,
+    FMT_I_SHIFT,
+    FMT_J,
+    FMT_LOAD,
+    FMT_NONE,
+    FMT_R,
+    FMT_R4,
+    FMT_RIA,
+    FMT_S,
+    FMT_U,
+    Instruction,
+    InstructionSet,
+)
+from repro.rv64.registers import register_index
+
+
+@dataclass
+class AssembledProgram:
+    """Result of assembling a source module."""
+
+    instructions: list[Instruction]
+    labels: dict[str, int]  # label -> byte offset from program base
+    source_lines: list[str]  # one entry per instruction, for diagnostics
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer literal {token!r}") from None
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", "//", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _split_operands(text: str) -> list[str]:
+    return [t.strip() for t in text.split(",") if t.strip()]
+
+
+def _parse_mem_operand(token: str) -> tuple[int, int]:
+    """Parse ``imm(reg)`` into (imm, reg_index)."""
+    open_paren = token.find("(")
+    if open_paren < 0 or not token.endswith(")"):
+        raise AssemblerError(f"expected imm(reg), got {token!r}")
+    imm_text = token[:open_paren].strip() or "0"
+    reg_text = token[open_paren + 1:-1].strip()
+    return _parse_int(imm_text), register_index(reg_text)
+
+
+def expand_li(rd: int, value: int) -> list[Instruction]:
+    """Expand ``li rd, value`` into base instructions.
+
+    Handles any 64-bit constant (interpreted modulo 2**64) with the
+    standard lui/addi(w)/slli recursion used by GNU as and LLVM.
+    """
+    value &= (1 << 64) - 1
+    signed = value - (1 << 64) if value >> 63 else value
+
+    if fits_signed(signed, 12):
+        return [Instruction("addi", rd=rd, rs1=0, imm=signed)]
+
+    if fits_signed(signed, 32):
+        hi20 = ((signed + 0x800) >> 12) & 0xFFFFF
+        lo12 = sign_extend(signed & 0xFFF, 12)
+        out = [Instruction("lui", rd=rd, imm=hi20)]
+        if lo12:
+            out.append(Instruction("addiw", rd=rd, rs1=rd, imm=lo12))
+        return out
+
+    lo12 = sign_extend(signed & 0xFFF, 12)
+    upper = (signed - lo12) >> 12
+    out = expand_li(rd, upper)
+    out.append(Instruction("slli", rd=rd, rs1=rd, imm=12))
+    if lo12:
+        out.append(Instruction("addi", rd=rd, rs1=rd, imm=lo12))
+    return out
+
+
+# label-operand placeholder carried between passes
+@dataclass
+class _PendingBranch:
+    mnemonic: str
+    rd: int
+    rs1: int
+    rs2: int
+    label: str
+    fmt: str
+
+
+class Assembler:
+    """Two-pass assembler over a given instruction set."""
+
+    def __init__(self, isa: InstructionSet) -> None:
+        self.isa = isa
+
+    # -- pseudo expansion -------------------------------------------------
+
+    def _expand_pseudo(
+        self, mnemonic: str, operands: list[str]
+    ) -> list[Instruction] | list[_PendingBranch] | None:
+        def reg(i: int) -> int:
+            return register_index(operands[i])
+
+        if mnemonic == "nop":
+            return [Instruction("addi", rd=0, rs1=0, imm=0)]
+        if mnemonic == "mv":
+            return [Instruction("addi", rd=reg(0), rs1=reg(1), imm=0)]
+        if mnemonic == "not":
+            return [Instruction("xori", rd=reg(0), rs1=reg(1), imm=-1)]
+        if mnemonic == "neg":
+            return [Instruction("sub", rd=reg(0), rs1=0, rs2=reg(1))]
+        if mnemonic == "seqz":
+            return [Instruction("sltiu", rd=reg(0), rs1=reg(1), imm=1)]
+        if mnemonic == "snez":
+            return [Instruction("sltu", rd=reg(0), rs1=0, rs2=reg(1))]
+        if mnemonic == "li":
+            if len(operands) != 2:
+                raise AssemblerError("li needs two operands")
+            return expand_li(reg(0), _parse_int(operands[1]))
+        if mnemonic == "ret":
+            return [Instruction("jalr", rd=0, rs1=1, imm=0)]
+        if mnemonic == "jr":
+            return [Instruction("jalr", rd=0, rs1=reg(0), imm=0)]
+        if mnemonic == "beqz":
+            return [_PendingBranch("beq", 0, reg(0), 0, operands[1], FMT_B)]
+        if mnemonic == "bnez":
+            return [_PendingBranch("bne", 0, reg(0), 0, operands[1], FMT_B)]
+        if mnemonic == "j":
+            return [_PendingBranch("jal", 0, 0, 0, operands[0], FMT_J)]
+        return None
+
+    # -- operand parsing ---------------------------------------------------
+
+    def _parse_instruction(
+        self, mnemonic: str, operands: list[str]
+    ) -> Instruction | _PendingBranch:
+        spec = self.isa[mnemonic]
+        fmt = spec.fmt
+
+        def need(count: int) -> None:
+            if len(operands) != count:
+                raise AssemblerError(
+                    f"{mnemonic}: expected {count} operands, "
+                    f"got {len(operands)}"
+                )
+
+        if fmt == FMT_R:
+            need(3)
+            return Instruction(mnemonic, rd=register_index(operands[0]),
+                               rs1=register_index(operands[1]),
+                               rs2=register_index(operands[2]))
+        if fmt == FMT_R4:
+            need(4)
+            return Instruction(mnemonic, rd=register_index(operands[0]),
+                               rs1=register_index(operands[1]),
+                               rs2=register_index(operands[2]),
+                               rs3=register_index(operands[3]))
+        if fmt in (FMT_I, FMT_I_SHIFT):
+            need(3)
+            return Instruction(mnemonic, rd=register_index(operands[0]),
+                               rs1=register_index(operands[1]),
+                               imm=_parse_int(operands[2]))
+        if fmt == FMT_LOAD:
+            need(2)
+            imm, rs1 = _parse_mem_operand(operands[1])
+            return Instruction(mnemonic, rd=register_index(operands[0]),
+                               rs1=rs1, imm=imm)
+        if fmt == FMT_S:
+            need(2)
+            imm, rs1 = _parse_mem_operand(operands[1])
+            return Instruction(mnemonic, rs2=register_index(operands[0]),
+                               rs1=rs1, imm=imm)
+        if fmt == FMT_B:
+            need(3)
+            rs1 = register_index(operands[0])
+            rs2 = register_index(operands[1])
+            target = operands[2]
+            try:
+                return Instruction(mnemonic, rs1=rs1, rs2=rs2,
+                                   imm=_parse_int(target))
+            except AssemblerError:
+                return _PendingBranch(mnemonic, 0, rs1, rs2, target, FMT_B)
+        if fmt == FMT_U:
+            need(2)
+            return Instruction(mnemonic, rd=register_index(operands[0]),
+                               imm=_parse_int(operands[1]))
+        if fmt == FMT_J:
+            need(2)
+            rd = register_index(operands[0])
+            target = operands[1]
+            try:
+                return Instruction(mnemonic, rd=rd, imm=_parse_int(target))
+            except AssemblerError:
+                return _PendingBranch(mnemonic, rd, 0, 0, target, FMT_J)
+        if fmt == FMT_RIA:
+            need(4)
+            return Instruction(mnemonic, rd=register_index(operands[0]),
+                               rs1=register_index(operands[1]),
+                               rs2=register_index(operands[2]),
+                               imm=_parse_int(operands[3]))
+        if fmt == FMT_NONE:
+            need(0)
+            return Instruction(mnemonic)
+        raise AssemblerError(f"unhandled format {fmt!r}")
+
+    # -- driver -----------------------------------------------------------
+
+    def assemble(self, source: str) -> AssembledProgram:
+        """Assemble *source* text into an :class:`AssembledProgram`."""
+        items: list[Instruction | _PendingBranch] = []
+        item_lines: list[str] = []
+        labels: dict[str, int] = {}
+
+        for line_number, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            if not line:
+                continue
+            while ":" in line:
+                name, _, rest = line.partition(":")
+                name = name.strip()
+                if not name.isidentifier():
+                    raise AssemblerError(
+                        f"line {line_number}: bad label {name!r}"
+                    )
+                if name in labels:
+                    raise AssemblerError(
+                        f"line {line_number}: duplicate label {name!r}"
+                    )
+                labels[name] = 4 * len(items)
+                line = rest.strip()
+            if not line:
+                continue
+
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _split_operands(parts[1]) if len(parts) > 1 else []
+
+            try:
+                expanded = self._expand_pseudo(mnemonic, operands)
+                if expanded is None:
+                    expanded = [self._parse_instruction(mnemonic, operands)]
+            except ReproError as exc:
+                raise AssemblerError(f"line {line_number}: {exc}") from None
+            items.extend(expanded)
+            item_lines.extend([raw.strip()] * len(expanded))
+
+        instructions: list[Instruction] = []
+        for index, item in enumerate(items):
+            if isinstance(item, _PendingBranch):
+                if item.label not in labels:
+                    raise AssemblerError(f"undefined label {item.label!r}")
+                offset = labels[item.label] - 4 * index
+                if item.fmt == FMT_B:
+                    instructions.append(Instruction(
+                        item.mnemonic, rs1=item.rs1, rs2=item.rs2,
+                        imm=offset))
+                else:
+                    instructions.append(Instruction(
+                        item.mnemonic, rd=item.rd, imm=offset))
+            else:
+                instructions.append(item)
+        return AssembledProgram(instructions, labels, item_lines)
+
+
+def assemble(source: str, isa: InstructionSet) -> AssembledProgram:
+    """Module-level convenience wrapper around :class:`Assembler`."""
+    return Assembler(isa).assemble(source)

@@ -1,0 +1,129 @@
+"""Fixed-width two's-complement bit manipulation helpers.
+
+The RV64 simulator stores every register as a Python ``int`` in the range
+``[0, 2**64)``.  These helpers implement the wrap-around arithmetic,
+sign-extension and field extraction used throughout the instruction
+semantics, mirroring the notation of the paper (Sect. 2, "Notation"):
+``EXTS`` is an arithmetic (sign-extending) shift and ``bits(x, h, l)`` is
+the paper's ``x_{h..l}`` extraction.
+"""
+
+from __future__ import annotations
+
+XLEN = 64
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+MASK128 = (1 << 128) - 1
+SIGN64 = 1 << 63
+SIGN32 = 1 << 31
+
+
+def u64(value: int) -> int:
+    """Truncate *value* to an unsigned 64-bit integer."""
+    return value & MASK64
+
+
+def u32(value: int) -> int:
+    """Truncate *value* to an unsigned 32-bit integer."""
+    return value & MASK32
+
+
+def s64(value: int) -> int:
+    """Interpret the low 64 bits of *value* as a signed integer."""
+    value &= MASK64
+    return value - (1 << 64) if value & SIGN64 else value
+
+
+def s32(value: int) -> int:
+    """Interpret the low 32 bits of *value* as a signed integer."""
+    value &= MASK32
+    return value - (1 << 32) if value & SIGN32 else value
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend the low *width* bits of *value* to a Python int."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    value &= (1 << width) - 1
+    if value & (1 << (width - 1)):
+        value -= 1 << width
+    return value
+
+
+def zero_extend(value: int, width: int) -> int:
+    """Zero-extend (truncate) *value* to the low *width* bits."""
+    return value & ((1 << width) - 1)
+
+
+def bits(value: int, high: int, low: int) -> int:
+    """Extract bits ``high..low`` (inclusive, high >= low) from *value*.
+
+    This is the paper's ``x_{h..l}`` notation.
+    """
+    if high < low:
+        raise ValueError(f"bit range [{high}..{low}] is empty")
+    return (value >> low) & ((1 << (high - low + 1)) - 1)
+
+
+def set_bits(value: int, high: int, low: int, field: int) -> int:
+    """Return *value* with bits ``high..low`` replaced by *field*."""
+    width = high - low + 1
+    mask = ((1 << width) - 1) << low
+    return (value & ~mask) | ((field & ((1 << width) - 1)) << low)
+
+
+def sra64(value: int, shamt: int) -> int:
+    """64-bit arithmetic right shift (the paper's ``EXTS(x >> y)``)."""
+    return u64(s64(value) >> (shamt & 63))
+
+
+def srl64(value: int, shamt: int) -> int:
+    """64-bit logical right shift."""
+    return u64(value) >> (shamt & 63)
+
+
+def sll64(value: int, shamt: int) -> int:
+    """64-bit logical left shift (wraps, as RISC-V ``slli``)."""
+    return u64(u64(value) << (shamt & 63))
+
+
+def mulhu64(a: int, b: int) -> int:
+    """Upper 64 bits of the unsigned 128-bit product (RV64M ``mulhu``)."""
+    return (u64(a) * u64(b)) >> 64
+
+
+def mulh64(a: int, b: int) -> int:
+    """Upper 64 bits of the signed × signed product (RV64M ``mulh``)."""
+    return u64((s64(a) * s64(b)) >> 64)
+
+
+def mulhsu64(a: int, b: int) -> int:
+    """Upper 64 bits of signed *a* × unsigned *b* (RV64M ``mulhsu``)."""
+    return u64((s64(a) * u64(b)) >> 64)
+
+
+def widening_mul(a: int, b: int) -> tuple[int, int]:
+    """Return ``(hi, lo)`` halves of the unsigned 128-bit product."""
+    product = u64(a) * u64(b)
+    return product >> 64, product & MASK64
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in the low 64 bits of *value*."""
+    return bin(value & MASK64).count("1")
+
+
+def bit_length_unsigned(value: int) -> int:
+    """Bit length of *value* treated as an unsigned 64-bit quantity."""
+    return u64(value).bit_length()
+
+
+def fits_unsigned(value: int, width: int) -> bool:
+    """True if *value* is representable as an unsigned *width*-bit int."""
+    return 0 <= value < (1 << width)
+
+
+def fits_signed(value: int, width: int) -> bool:
+    """True if *value* is representable as a signed *width*-bit int."""
+    bound = 1 << (width - 1)
+    return -bound <= value < bound

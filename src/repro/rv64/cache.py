@@ -1,0 +1,87 @@
+"""Set-associative cache models for the Rocket-like memory hierarchy.
+
+The host core in the paper has a 16 kB instruction cache and a 16 kB data
+cache.  For the steady-state kernel measurements of Table 4 the caches
+are warm (every working set fits easily), so the default timing
+configuration treats hits as free and only charges miss penalties.  The
+models still track hits/misses so cold-start behaviour can be studied.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache."""
+
+    size_bytes: int = 16 * 1024
+    line_bytes: int = 64
+    ways: int = 4
+    miss_penalty: int = 20  # cycles charged per miss
+
+    def __post_init__(self) -> None:
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ParameterError("line_bytes must be a power of two")
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ParameterError(
+                "size_bytes must be divisible by line_bytes * ways"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+class Cache:
+    """An LRU set-associative cache supporting lookup-with-fill."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Access *address*; return True on hit.  Misses fill the line."""
+        line = address >> self._line_shift
+        cache_set = self._sets[line % self.config.num_sets]
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        cache_set[line] = None
+        if len(cache_set) > self.config.ways:
+            cache_set.popitem(last=False)
+        return False
+
+    def warm(self, address: int, size: int) -> None:
+        """Pre-fill every line covering ``[address, address+size)``."""
+        line_bytes = self.config.line_bytes
+        first = address - (address % line_bytes)
+        for line_address in range(first, address + size, line_bytes):
+            self.access(line_address)
+        # warming should not count against the statistics
+        self.hits = 0
+        self.misses = 0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,69 @@
+"""Disassembler: instruction words or objects back to assembly text."""
+
+from __future__ import annotations
+
+from repro.rv64.encoding import Decoder
+from repro.rv64.isa import (
+    FMT_B,
+    FMT_I,
+    FMT_I_SHIFT,
+    FMT_J,
+    FMT_LOAD,
+    FMT_NONE,
+    FMT_R,
+    FMT_R4,
+    FMT_RIA,
+    FMT_S,
+    FMT_U,
+    Instruction,
+    InstructionSet,
+)
+from repro.rv64.registers import register_name
+
+
+def format_instruction(isa: InstructionSet, ins: Instruction) -> str:
+    """Render *ins* as canonical assembly text for the given ISA."""
+    spec = isa[ins.mnemonic]
+    rn = register_name
+    m = ins.mnemonic
+    fmt = spec.fmt
+    if fmt == FMT_R:
+        return f"{m} {rn(ins.rd)}, {rn(ins.rs1)}, {rn(ins.rs2)}"
+    if fmt == FMT_R4:
+        return (f"{m} {rn(ins.rd)}, {rn(ins.rs1)}, {rn(ins.rs2)}, "
+                f"{rn(ins.rs3)}")
+    if fmt in (FMT_I, FMT_I_SHIFT):
+        return f"{m} {rn(ins.rd)}, {rn(ins.rs1)}, {ins.imm}"
+    if fmt == FMT_LOAD:
+        return f"{m} {rn(ins.rd)}, {ins.imm}({rn(ins.rs1)})"
+    if fmt == FMT_S:
+        return f"{m} {rn(ins.rs2)}, {ins.imm}({rn(ins.rs1)})"
+    if fmt == FMT_B:
+        return f"{m} {rn(ins.rs1)}, {rn(ins.rs2)}, {ins.imm}"
+    if fmt == FMT_U:
+        return f"{m} {rn(ins.rd)}, {ins.imm:#x}"
+    if fmt == FMT_J:
+        return f"{m} {rn(ins.rd)}, {ins.imm}"
+    if fmt == FMT_RIA:
+        return (f"{m} {rn(ins.rd)}, {rn(ins.rs1)}, {rn(ins.rs2)}, "
+                f"{ins.imm}")
+    if fmt == FMT_NONE:
+        return m
+    return m
+
+
+def disassemble_word(isa: InstructionSet, word: int) -> str:
+    """Decode and render one 32-bit instruction word."""
+    return format_instruction(isa, Decoder(isa).decode(word))
+
+
+def disassemble_program(
+    isa: InstructionSet, words: list[int], base: int = 0
+) -> str:
+    """Render a whole encoded program, one ``addr: text`` line each."""
+    decoder = Decoder(isa)
+    lines = []
+    for index, word in enumerate(words):
+        text = format_instruction(isa, decoder.decode(word))
+        lines.append(f"{base + 4 * index:08x}:  {word:08x}  {text}")
+    return "\n".join(lines)

@@ -1,0 +1,260 @@
+"""Binary encoding and decoding of 32-bit RISC-V instruction words.
+
+Implements the standard R/I/S/B/U/J formats of the RISC-V user-level ISA
+plus the two custom formats used by the paper:
+
+* the R4-type format (three source registers, one destination; bits 26:25
+  carry a 2-bit ``funct2`` selector) used by ``maddlu``/``maddhu``/
+  ``madd57lu``/``madd57hu``/``cadd`` (Figures 1-3), and
+* the register-register-immediate format of ``sraiadd`` (Figure 3), which
+  places a 6-bit shift amount in bits 30:25 with bit 31 set.
+
+Encoders and decoders are driven entirely by :class:`InstrSpec` metadata,
+so ISE sets defined elsewhere decode with no changes here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.rv64.bits import bits, fits_signed, sign_extend
+from repro.rv64.isa import (
+    FMT_B,
+    FMT_I,
+    FMT_I_SHIFT,
+    FMT_J,
+    FMT_LOAD,
+    FMT_NONE,
+    FMT_R,
+    FMT_R4,
+    FMT_RIA,
+    FMT_S,
+    FMT_U,
+    Instruction,
+    InstrSpec,
+    InstructionSet,
+    OP_IMM,
+)
+
+_WORD_SHIFT_OPCODES = {0b0011011}  # OP_IMM32: 5-bit shamt
+
+
+def _check_reg(value: int, field_name: str) -> int:
+    if not 0 <= value < 32:
+        raise EncodingError(f"{field_name} out of range: {value}")
+    return value
+
+
+def encode(spec: InstrSpec, ins: Instruction) -> int:
+    """Encode *ins* (matching *spec*) into a 32-bit instruction word."""
+    opcode = spec.opcode
+    rd = _check_reg(ins.rd, "rd")
+    rs1 = _check_reg(ins.rs1, "rs1")
+    rs2 = _check_reg(ins.rs2, "rs2")
+    rs3 = _check_reg(ins.rs3, "rs3")
+    f3 = spec.funct3 or 0
+    fmt = spec.fmt
+
+    if fmt == FMT_R:
+        return ((spec.funct7 or 0) << 25 | rs2 << 20 | rs1 << 15
+                | f3 << 12 | rd << 7 | opcode)
+
+    if fmt == FMT_R4:
+        if spec.funct2 is None:
+            raise EncodingError(f"{spec.mnemonic}: R4 format needs funct2")
+        return (rs3 << 27 | spec.funct2 << 25 | rs2 << 20 | rs1 << 15
+                | f3 << 12 | rd << 7 | opcode)
+
+    if fmt in (FMT_I, FMT_LOAD):
+        if not fits_signed(ins.imm, 12):
+            raise EncodingError(
+                f"{spec.mnemonic}: immediate {ins.imm} exceeds 12 bits"
+            )
+        return ((ins.imm & 0xFFF) << 20 | rs1 << 15 | f3 << 12
+                | rd << 7 | opcode)
+
+    if fmt == FMT_I_SHIFT:
+        shamt_bits = 5 if opcode in _WORD_SHIFT_OPCODES else 6
+        if not 0 <= ins.imm < (1 << shamt_bits):
+            raise EncodingError(
+                f"{spec.mnemonic}: shift amount {ins.imm} out of range"
+            )
+        funct7 = spec.funct7 or 0
+        if shamt_bits == 6:
+            imm12 = ((funct7 >> 1) << 6) | ins.imm
+        else:
+            imm12 = (funct7 << 5) | ins.imm
+        return imm12 << 20 | rs1 << 15 | f3 << 12 | rd << 7 | opcode
+
+    if fmt == FMT_S:
+        if not fits_signed(ins.imm, 12):
+            raise EncodingError(
+                f"{spec.mnemonic}: store offset {ins.imm} exceeds 12 bits"
+            )
+        imm = ins.imm & 0xFFF
+        return (bits(imm, 11, 5) << 25 | rs2 << 20 | rs1 << 15
+                | f3 << 12 | bits(imm, 4, 0) << 7 | opcode)
+
+    if fmt == FMT_B:
+        if not fits_signed(ins.imm, 13) or ins.imm & 1:
+            raise EncodingError(
+                f"{spec.mnemonic}: branch offset {ins.imm} invalid"
+            )
+        imm = ins.imm & 0x1FFF
+        return (bits(imm, 12, 12) << 31 | bits(imm, 10, 5) << 25
+                | rs2 << 20 | rs1 << 15 | f3 << 12
+                | bits(imm, 4, 1) << 8 | bits(imm, 11, 11) << 7 | opcode)
+
+    if fmt == FMT_U:
+        if not 0 <= ins.imm < (1 << 20):
+            raise EncodingError(
+                f"{spec.mnemonic}: U-immediate {ins.imm} out of range"
+            )
+        return ins.imm << 12 | rd << 7 | opcode
+
+    if fmt == FMT_J:
+        if not fits_signed(ins.imm, 21) or ins.imm & 1:
+            raise EncodingError(
+                f"{spec.mnemonic}: jump offset {ins.imm} invalid"
+            )
+        imm = ins.imm & 0x1FFFFF
+        return (bits(imm, 20, 20) << 31 | bits(imm, 10, 1) << 21
+                | bits(imm, 11, 11) << 20 | bits(imm, 19, 12) << 12
+                | rd << 7 | opcode)
+
+    if fmt == FMT_RIA:
+        if not 0 <= ins.imm < 64:
+            raise EncodingError(
+                f"{spec.mnemonic}: shift amount {ins.imm} out of range"
+            )
+        return (1 << 31 | ins.imm << 25 | rs2 << 20 | rs1 << 15
+                | f3 << 12 | rd << 7 | opcode)
+
+    if fmt == FMT_NONE:
+        # ecall/ebreak/fence: I-type with a fixed immediate selector.
+        selector = spec.funct7 or 0
+        return selector << 20 | f3 << 12 | opcode
+
+    raise EncodingError(f"unknown format {fmt!r} for {spec.mnemonic}")
+
+
+class Decoder:
+    """Decode 32-bit instruction words against an :class:`InstructionSet`.
+
+    Builds a dispatch index keyed on (opcode, funct3, discriminator) once,
+    then decodes each word with dictionary lookups.
+    """
+
+    def __init__(self, isa: InstructionSet) -> None:
+        self.isa = isa
+        self._index: dict[tuple[int, int | None], list[InstrSpec]] = {}
+        for spec in isa.specs():
+            key = (spec.opcode, spec.funct3)
+            self._index.setdefault(key, []).append(spec)
+
+    def _candidates(self, opcode: int, funct3: int) -> list[InstrSpec]:
+        found = self._index.get((opcode, funct3), [])
+        found = found + self._index.get((opcode, None), [])
+        if not found:
+            raise EncodingError(
+                f"no instruction with opcode {opcode:#09b} "
+                f"funct3 {funct3:#05b} in ISA {self.isa.name!r}"
+            )
+        return found
+
+    def decode(self, word: int) -> Instruction:
+        """Decode one instruction word, raising EncodingError on failure."""
+        if not 0 <= word < (1 << 32):
+            raise EncodingError(f"not a 32-bit word: {word:#x}")
+        if word & 0b11 != 0b11:
+            raise EncodingError(
+                f"compressed (16-bit) encodings unsupported: {word:#010x}"
+            )
+        opcode = word & 0x7F
+        funct3 = bits(word, 14, 12)
+        rd = bits(word, 11, 7)
+        rs1 = bits(word, 19, 15)
+        rs2 = bits(word, 24, 20)
+
+        for spec in self._candidates(opcode, funct3):
+            decoded = self._try_decode(spec, word, rd, rs1, rs2)
+            if decoded is not None:
+                return decoded
+        raise EncodingError(f"undecodable instruction word {word:#010x}")
+
+    def _try_decode(
+        self, spec: InstrSpec, word: int, rd: int, rs1: int, rs2: int
+    ) -> Instruction | None:
+        fmt = spec.fmt
+        m = spec.mnemonic
+
+        if fmt == FMT_R:
+            if bits(word, 31, 25) != (spec.funct7 or 0):
+                return None
+            return Instruction(m, rd=rd, rs1=rs1, rs2=rs2)
+
+        if fmt == FMT_R4:
+            if bits(word, 26, 25) != spec.funct2:
+                return None
+            return Instruction(m, rd=rd, rs1=rs1, rs2=rs2,
+                               rs3=bits(word, 31, 27))
+
+        if fmt in (FMT_I, FMT_LOAD):
+            return Instruction(m, rd=rd, rs1=rs1,
+                               imm=sign_extend(bits(word, 31, 20), 12))
+
+        if fmt == FMT_I_SHIFT:
+            shamt_bits = 5 if spec.opcode in _WORD_SHIFT_OPCODES else 6
+            if shamt_bits == 6:
+                funct6 = bits(word, 31, 26)
+                if funct6 != (spec.funct7 or 0) >> 1:
+                    return None
+                shamt = bits(word, 25, 20)
+            else:
+                if bits(word, 31, 25) != (spec.funct7 or 0):
+                    return None
+                shamt = bits(word, 24, 20)
+            return Instruction(m, rd=rd, rs1=rs1, imm=shamt)
+
+        if fmt == FMT_S:
+            imm = (bits(word, 31, 25) << 5) | bits(word, 11, 7)
+            return Instruction(m, rs1=rs1, rs2=rs2,
+                               imm=sign_extend(imm, 12))
+
+        if fmt == FMT_B:
+            imm = (bits(word, 31, 31) << 12 | bits(word, 7, 7) << 11
+                   | bits(word, 30, 25) << 5 | bits(word, 11, 8) << 1)
+            return Instruction(m, rs1=rs1, rs2=rs2,
+                               imm=sign_extend(imm, 13))
+
+        if fmt == FMT_U:
+            return Instruction(m, rd=rd, imm=bits(word, 31, 12))
+
+        if fmt == FMT_J:
+            imm = (bits(word, 31, 31) << 20 | bits(word, 19, 12) << 12
+                   | bits(word, 20, 20) << 11 | bits(word, 30, 21) << 1)
+            return Instruction(m, rd=rd, imm=sign_extend(imm, 21))
+
+        if fmt == FMT_RIA:
+            if bits(word, 31, 31) != 1:
+                return None
+            return Instruction(m, rd=rd, rs1=rs1, rs2=rs2,
+                               imm=bits(word, 30, 25))
+
+        if fmt == FMT_NONE:
+            selector = bits(word, 31, 20)
+            if selector != (spec.funct7 or 0) and spec.opcode != 0b0001111:
+                return None
+            return Instruction(m)
+
+        return None
+
+
+def encode_instruction(isa: InstructionSet, ins: Instruction) -> int:
+    """Encode *ins* using the spec registered in *isa*."""
+    return encode(isa[ins.mnemonic], ins)
+
+
+def encode_program(isa: InstructionSet,
+                   program: list[Instruction]) -> list[int]:
+    """Encode a straight-line instruction list into 32-bit words."""
+    return [encode_instruction(isa, ins) for ins in program]

@@ -1,0 +1,208 @@
+"""Functional RV64 machine: fetch-decode-execute with optional timing.
+
+The machine executes :class:`~repro.rv64.isa.Instruction` objects loaded
+from an assembled program image.  A :class:`PipelineModel` may be
+attached to produce cycle counts alongside the architectural execution;
+the functional result never depends on the timing model.
+
+Execution terminates when the program counter reaches
+:data:`HALT_ADDRESS` (the conventional return address planted in ``ra``
+before calling a kernel), when an ``ebreak`` retires, or when the step
+limit is exceeded (guarding against runaway programs).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.rv64.assembler import AssembledProgram
+from repro.rv64.isa import BASE_ISA, Instruction, InstructionSet
+from repro.rv64.memory import Memory
+from repro.rv64.pipeline import PipelineModel
+from repro.rv64.registers import RegisterFile
+
+#: Jumping here ends the simulation (used as the kernel return address).
+HALT_ADDRESS = 0x0000_0000_DEAD_0000
+
+#: Default stack top for kernels that need scratch memory.
+DEFAULT_STACK_TOP = 0x0000_0000_7FFF_F000
+
+TraceHook = Callable[["MachineState", Instruction], None]
+
+
+@dataclass
+class ExecutionResult:
+    """Summary of one :meth:`Machine.run` invocation."""
+
+    instructions_retired: int
+    cycles: int | None
+    histogram: Counter[str] = field(default_factory=Counter)
+
+    @property
+    def cpi(self) -> float:
+        if self.cycles is None or not self.instructions_retired:
+            return 0.0
+        return self.cycles / self.instructions_retired
+
+
+class MachineState:
+    """Architectural state shared with instruction semantics."""
+
+    __slots__ = (
+        "regs", "mem", "pc", "next_pc", "halted", "branch_taken",
+        "last_address",
+    )
+
+    def __init__(self, mem: Memory | None = None) -> None:
+        self.regs = RegisterFile()
+        self.mem = mem if mem is not None else Memory()
+        self.pc = 0
+        self.next_pc = 0
+        self.halted = False
+        self.branch_taken = False
+        self.last_address: int | None = None
+
+
+class Machine:
+    """An RV64 hart executing a loaded program image."""
+
+    def __init__(
+        self,
+        isa: InstructionSet = BASE_ISA,
+        *,
+        pipeline: PipelineModel | None = None,
+        max_steps: int = 50_000_000,
+    ) -> None:
+        self.isa = isa
+        self.state = MachineState()
+        self.pipeline = pipeline
+        self.max_steps = max_steps
+        self._program: dict[int, tuple[Instruction, object]] = {}
+        self._trace_hooks: list[TraceHook] = []
+        self.collect_histogram = False
+        self._histogram: Counter[str] = Counter()
+
+    # -- program management ------------------------------------------------
+
+    def load_program(
+        self,
+        program: AssembledProgram | list[Instruction],
+        base: int = 0x1000,
+    ) -> int:
+        """Load *program* at byte address *base*; returns the entry pc."""
+        instructions = (
+            program.instructions
+            if isinstance(program, AssembledProgram)
+            else program
+        )
+        for index, ins in enumerate(instructions):
+            spec = self.isa[ins.mnemonic]
+            self._program[base + 4 * index] = (ins, spec)
+        return base
+
+    def program_extent(self) -> tuple[int, int]:
+        """Return (lowest pc, byte size) of the loaded image."""
+        if not self._program:
+            return (0, 0)
+        low = min(self._program)
+        high = max(self._program)
+        return low, high - low + 4
+
+    def add_trace_hook(self, hook: TraceHook) -> None:
+        self._trace_hooks.append(hook)
+
+    # -- convenience register/memory access ---------------------------------
+
+    @property
+    def regs(self) -> RegisterFile:
+        return self.state.regs
+
+    @property
+    def mem(self) -> Memory:
+        return self.state.mem
+
+    def reset(self) -> None:
+        """Clear registers, halt flag and timing state (memory persists)."""
+        self.state.regs.reset()
+        self.state.halted = False
+        self.state.pc = 0
+        self._histogram.clear()
+        if self.pipeline:
+            self.pipeline.reset()
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        entry: int,
+        *,
+        setup_return: bool = True,
+        stack_top: int = DEFAULT_STACK_TOP,
+    ) -> ExecutionResult:
+        """Run from *entry* until halt; returns retired-instruction stats.
+
+        If *setup_return* is true, ``ra`` is pointed at
+        :data:`HALT_ADDRESS` and ``sp`` at *stack_top*, so a trailing
+        ``ret`` ends the simulation — the calling convention used by all
+        generated kernels.
+        """
+        state = self.state
+        if setup_return:
+            state.regs.write("ra", HALT_ADDRESS)
+            state.regs.write("sp", stack_top)
+        state.pc = entry
+        state.halted = False
+
+        program = self._program
+        pipeline = self.pipeline
+        hooks = self._trace_hooks
+        histogram = self._histogram if self.collect_histogram else None
+
+        retired = 0
+        limit = self.max_steps
+        while not state.halted:
+            pc = state.pc
+            if pc == HALT_ADDRESS:
+                break
+            entry_pair = program.get(pc)
+            if entry_pair is None:
+                raise SimulationError(
+                    f"fetch from unmapped address {pc:#x} "
+                    f"after {retired} instructions"
+                )
+            ins, spec = entry_pair
+            state.next_pc = pc + 4
+            state.branch_taken = False
+            state.last_address = None
+
+            spec.execute(state, ins)  # type: ignore[attr-defined]
+
+            if pipeline is not None:
+                pipeline.issue(
+                    spec,  # type: ignore[arg-type]
+                    ins,
+                    pc=pc,
+                    mem_address=state.last_address,
+                    branch_taken=state.branch_taken,
+                )
+            if histogram is not None:
+                histogram[ins.mnemonic] += 1
+            if hooks:
+                for hook in hooks:
+                    hook(state, ins)
+
+            state.pc = state.next_pc
+            retired += 1
+            if retired > limit:
+                raise SimulationError(
+                    f"step limit {limit} exceeded at pc {state.pc:#x}"
+                )
+
+        return ExecutionResult(
+            instructions_retired=retired,
+            cycles=pipeline.cycles if pipeline else None,
+            histogram=Counter(self._histogram),
+        )

@@ -1,0 +1,97 @@
+"""RV64 integer register file with ABI-name support.
+
+The register file stores 32 general-purpose 64-bit registers.  ``x0`` is
+hard-wired to zero: writes are silently discarded, as on real hardware.
+Both architectural names (``x0``–``x31``) and standard ABI names
+(``zero``, ``ra``, ``sp``, ``a0``–``a7``, ``s0``–``s11``, ``t0``–``t6``)
+are accepted everywhere a register is named.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.rv64.bits import u64
+
+NUM_REGISTERS = 32
+
+ABI_NAMES: tuple[str, ...] = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+_NAME_TO_INDEX: dict[str, int] = {}
+for _i, _abi in enumerate(ABI_NAMES):
+    _NAME_TO_INDEX[_abi] = _i
+    _NAME_TO_INDEX[f"x{_i}"] = _i
+_NAME_TO_INDEX["fp"] = 8  # alias for s0
+
+
+def register_index(name: int | str) -> int:
+    """Resolve *name* (index, ``xN``, or ABI name) to a register index."""
+    if isinstance(name, int):
+        if 0 <= name < NUM_REGISTERS:
+            return name
+        raise SimulationError(f"register index out of range: {name}")
+    key = name.strip().lower()
+    try:
+        return _NAME_TO_INDEX[key]
+    except KeyError:
+        raise SimulationError(f"unknown register name: {name!r}") from None
+
+
+def register_name(index: int) -> str:
+    """Return the canonical ABI name for register *index*."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise SimulationError(f"register index out of range: {index}")
+    return ABI_NAMES[index]
+
+
+class RegisterFile:
+    """32 × 64-bit general-purpose registers with an x0 zero register."""
+
+    __slots__ = ("_regs",)
+
+    def __init__(self) -> None:
+        self._regs: list[int] = [0] * NUM_REGISTERS
+
+    def read(self, reg: int | str) -> int:
+        """Read a register as an unsigned 64-bit integer."""
+        return self._regs[register_index(reg)]
+
+    def write(self, reg: int | str, value: int) -> None:
+        """Write the low 64 bits of *value*; writes to x0 are discarded."""
+        index = register_index(reg)
+        if index != 0:
+            self._regs[index] = u64(value)
+
+    def __getitem__(self, reg: int | str) -> int:
+        return self.read(reg)
+
+    def __setitem__(self, reg: int | str, value: int) -> None:
+        self.write(reg, value)
+
+    def reset(self) -> None:
+        """Zero every register."""
+        for i in range(NUM_REGISTERS):
+            self._regs[i] = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Return a name → value mapping of all non-zero registers."""
+        return {
+            ABI_NAMES[i]: v for i, v in enumerate(self._regs) if v or i == 0
+        }
+
+    def dump(self) -> str:
+        """Human-readable multi-line register dump."""
+        lines = []
+        for i in range(0, NUM_REGISTERS, 4):
+            cells = [
+                f"{ABI_NAMES[j]:>5} = {self._regs[j]:016x}"
+                for j in range(i, i + 4)
+            ]
+            lines.append("  ".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Test helpers: run assembly snippets on a fresh machine."""
+
+from __future__ import annotations
+
+from repro.core.ise import EXTENDED_ISA
+from repro.rv64.assembler import assemble
+from repro.rv64.isa import InstructionSet
+from repro.rv64.machine import ExecutionResult, Machine
+from repro.rv64.pipeline import PipelineConfig, PipelineModel
+
+
+def run_asm(
+    source: str,
+    regs: dict[str, int] | None = None,
+    mem: dict[int, int] | None = None,
+    *,
+    isa: InstructionSet = EXTENDED_ISA,
+    pipeline: PipelineConfig | None = None,
+    append_ret: bool = True,
+) -> Machine:
+    """Assemble *source*, preload registers/memory words, run, return
+    the machine (inspect ``.regs`` / ``.mem`` afterwards)."""
+    if append_ret and "ret" not in source:
+        source = source.rstrip("\n") + "\nret\n"
+    machine = Machine(
+        isa,
+        pipeline=PipelineModel(pipeline) if pipeline else None,
+    )
+    entry = machine.load_program(assemble(source, isa))
+    for name, value in (regs or {}).items():
+        machine.regs[name] = value
+    for address, value in (mem or {}).items():
+        machine.mem.store_u64(address, value)
+    machine.last_result = machine.run(entry)  # type: ignore[attr-defined]
+    return machine
+
+
+def result_of(machine: Machine) -> ExecutionResult:
+    return machine.last_result  # type: ignore[attr-defined]

@@ -1,0 +1,187 @@
+"""Tests for the two-pass assembler: syntax, labels, pseudo expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ise import EXTENDED_ISA
+from repro.errors import AssemblerError
+from repro.rv64.assembler import Assembler, assemble, expand_li
+from repro.rv64.bits import u64
+from repro.rv64.isa import BASE_ISA, Instruction
+from tests.helpers import run_asm
+
+
+class TestBasicSyntax:
+    def test_simple_instruction(self):
+        prog = assemble("add a0, a1, a2", BASE_ISA)
+        assert prog.instructions == [
+            Instruction("add", rd=10, rs1=11, rs2=12)
+        ]
+
+    def test_comments_stripped(self):
+        source = """
+        # full line comment
+        add a0, a1, a2  # trailing
+        sub a0, a0, a1  // c++ style
+        and a0, a0, a1  ; asm style
+        """
+        assert len(assemble(source, BASE_ISA)) == 3
+
+    def test_hex_and_binary_immediates(self):
+        prog = assemble("addi a0, zero, 0x7f\naddi a1, zero, 0b101",
+                        BASE_ISA)
+        assert prog.instructions[0].imm == 0x7F
+        assert prog.instructions[1].imm == 0b101
+
+    def test_memory_operand_forms(self):
+        prog = assemble("ld a0, 16(sp)\nsd a0, (sp)", BASE_ISA)
+        assert prog.instructions[0].imm == 16
+        assert prog.instructions[1].imm == 0
+
+    def test_r4_operands(self):
+        prog = assemble("maddlu t0, a0, a1, t0", EXTENDED_ISA)
+        ins = prog.instructions[0]
+        assert (ins.rd, ins.rs1, ins.rs2, ins.rs3) == (5, 10, 11, 5)
+
+    def test_sraiadd_operands(self):
+        prog = assemble("sraiadd t0, t1, t2, 57", EXTENDED_ISA)
+        ins = prog.instructions[0]
+        assert (ins.rd, ins.rs1, ins.rs2, ins.imm) == (5, 6, 7, 57)
+
+
+class TestLabels:
+    def test_forward_branch(self):
+        source = """
+            beq a0, zero, done
+            addi a1, a1, 1
+        done:
+            ret
+        """
+        prog = assemble(source, BASE_ISA)
+        assert prog.instructions[0].imm == 8
+        assert "done" in prog.labels
+
+    def test_backward_branch(self):
+        source = """
+        loop:
+            addi a0, a0, -1
+            bne a0, zero, loop
+        """
+        prog = assemble(source, BASE_ISA)
+        assert prog.instructions[1].imm == -4
+
+    def test_jump_to_label(self):
+        prog = assemble("j end\nnop\nend: ret", BASE_ISA)
+        assert prog.instructions[0].mnemonic == "jal"
+        assert prog.instructions[0].imm == 8
+
+    def test_label_on_same_line(self):
+        prog = assemble("start: add a0, a0, a1", BASE_ISA)
+        assert prog.labels["start"] == 0
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble("beq a0, a1, nowhere", BASE_ISA)
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("x: nop\nx: nop", BASE_ISA)
+
+    def test_label_offsets_account_for_li_expansion(self):
+        source = """
+            li a0, 0x123456789abcdef0
+            beq a0, zero, done
+            nop
+        done:
+            ret
+        """
+        machine = run_asm(source, append_ret=False)
+        assert machine.regs["a0"] == 0x123456789ABCDEF0
+
+
+class TestLiExpansion:
+    @pytest.mark.parametrize("value", [
+        0, 1, -1, 100, -100, 2047, -2048, 2048, -2049,
+        0x7FFFFFFF, -0x80000000, 0x80000000, 1 << 40,
+        (1 << 57) - 1, 0xFFFFFFFFFFFFFFFF, 0x8000000000000000,
+        0xDEADBEEFCAFEBABE,
+    ])
+    def test_value_exact(self, value):
+        machine = run_asm(f"li t3, {value}")
+        assert machine.regs["t3"] == u64(value)
+
+    def test_small_is_one_instruction(self):
+        assert len(expand_li(10, 42)) == 1
+        assert len(expand_li(10, -42)) == 1
+
+    def test_32bit_is_two_instructions(self):
+        assert len(expand_li(10, 0x12345678)) == 2
+
+    def test_expansion_writes_only_target(self):
+        for ins in expand_li(10, 0xDEADBEEFCAFEBABE):
+            assert ins.rd == 10
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate a0, a1", BASE_ISA)
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expected 3"):
+            assemble("add a0, a1", BASE_ISA)
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add a0, a1, q9", BASE_ISA)
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblerError):
+            assemble("addi a0, a1, twelve", BASE_ISA)
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError, match="imm\\(reg\\)"):
+            assemble("ld a0, a1", BASE_ISA)
+
+    def test_line_number_in_error(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus x, y", BASE_ISA)
+
+    def test_ise_mnemonic_requires_extended_isa(self):
+        with pytest.raises(AssemblerError):
+            Assembler(BASE_ISA).assemble("maddlu t0, a0, a1, t0")
+
+
+class TestControlFlowExecution:
+    def test_loop_countdown(self):
+        source = """
+            li a0, 10
+            li a1, 0
+        loop:
+            addi a1, a1, 2
+            addi a0, a0, -1
+            bnez a0, loop
+            ret
+        """
+        machine = run_asm(source, append_ret=False)
+        assert machine.regs["a1"] == 20
+
+    def test_jal_links(self):
+        source = """
+            jal a5, target
+        target:
+            ret
+        """
+        machine = run_asm(source, append_ret=False)
+        assert machine.regs["a5"] == 0x1000 + 4
+
+    def test_beqz_taken(self):
+        source = """
+            beqz zero, skip
+            li a0, 111
+        skip:
+            ret
+        """
+        machine = run_asm(source, append_ret=False)
+        assert machine.regs["a0"] == 0

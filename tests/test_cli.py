@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("table3", "listings",
+                        "kernel fp_add.full.isa"):
+            args = parser.parse_args(command.split())
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "base core" in out
+        assert "4807" in out
+
+    def test_table3_no_paper(self, capsys):
+        assert main(["table3", "--no-paper"]) == 0
+        assert "(paper)" not in capsys.readouterr().out
+
+    def test_listings(self, capsys):
+        assert main(["listings"]) == 0
+        out = capsys.readouterr().out
+        assert "Listing 1" in out
+        assert "madd57hu" in out
+        assert "(2 instructions)" in out
+
+    def test_kernel_dump(self, capsys):
+        assert main(["kernel", "fp_add.full.isa",
+                     "--params", "toy"]) == 0
+        out = capsys.readouterr().out
+        assert "# kernel: fp_add.full.isa" in out
+        assert "ret" in out
+
+    def test_kernel_unknown_name(self, capsys):
+        assert main(["kernel", "nonsense", "--params", "toy"]) == 1
+        assert "available" in capsys.readouterr().err
+
+    def test_exchange_toy(self, capsys):
+        assert main(["exchange", "--params", "toy"]) == 0
+        assert "AGREED" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "-o", str(target), "--keys", "1"]) == 0
+        text = target.read_text()
+        assert "# Reproduction report" in text
+        assert "## Table 4" in text
+        assert "Critical path" in text

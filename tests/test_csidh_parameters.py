@@ -1,0 +1,83 @@
+"""Tests for the CSIDH parameter sets."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.csidh.parameters import (
+    CsidhParameters,
+    csidh_512,
+    csidh_mini,
+    csidh_toy,
+)
+from repro.errors import ParameterError
+from repro.mpi.primality import is_prime
+
+
+class TestCsidh512:
+    def test_prime_shape(self):
+        params = csidh_512()
+        assert params.p == 4 * math.prod(params.ells) - 1
+        assert params.p.bit_length() == 511
+        assert params.p % 8 == 3
+        assert is_prime(params.p)
+
+    def test_prime_list(self):
+        params = csidh_512()
+        assert params.num_primes == 74
+        assert params.ells[0] == 3
+        assert params.ells[72] == 373   # 73 smallest odd primes ...
+        assert params.ells[73] == 587   # ... plus 587
+
+    def test_key_space_size(self):
+        # (2*5+1)^74 = 11^74 ~ 2^256 keys (NIST level 1 target)
+        assert csidh_512().key_space_bits == pytest.approx(256, abs=1)
+
+    def test_exponent_sampling(self):
+        params = csidh_512()
+        key = params.sample_private_key(random.Random(0))
+        assert len(key) == 74
+        assert all(-5 <= e <= 5 for e in key)
+
+    def test_cached(self):
+        assert csidh_512() is csidh_512()
+
+
+class TestToySets:
+    def test_toy_valid(self):
+        params = csidh_toy()
+        params.validate()
+        assert params.p == 419
+
+    def test_mini_valid(self):
+        params = csidh_mini()
+        params.validate()
+        assert is_prime(params.p)
+        assert params.p % 8 == 3
+
+
+class TestValidation:
+    def test_nonprime_p_rejected(self):
+        bad = CsidhParameters("bad", (3, 5, 7, 11), 1)  # p = 4619 = 31*149
+        with pytest.raises(ParameterError, match="not prime"):
+            bad.validate()
+
+    def test_composite_factor_rejected(self):
+        bad = CsidhParameters("bad", (3, 5, 9), 1)
+        with pytest.raises(ParameterError):
+            bad.validate()
+
+    def test_unsorted_factors_rejected(self):
+        with pytest.raises(ParameterError):
+            CsidhParameters("bad", (5, 3), 1)
+
+    def test_empty_factors_rejected(self):
+        with pytest.raises(ParameterError):
+            CsidhParameters("bad", (), 1)
+
+    def test_bad_exponent_bound(self):
+        with pytest.raises(ParameterError):
+            CsidhParameters("bad", (3, 5, 7), 0)

@@ -1,0 +1,93 @@
+"""Tests for the disassembler (text round trips, program rendering)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ise import FULL_RADIX_ISA, REDUCED_RADIX_ISA
+from repro.rv64.assembler import assemble
+from repro.rv64.disassembler import (
+    disassemble_program,
+    disassemble_word,
+    format_instruction,
+)
+from repro.rv64.encoding import encode_instruction, encode_program
+from repro.rv64.isa import BASE_ISA, Instruction
+
+
+class TestFormat:
+    @pytest.mark.parametrize("text", [
+        "add a0, a1, a2",
+        "addi t0, t1, -42",
+        "ld s0, 16(sp)",
+        "sd s0, -8(sp)",
+        "beq a0, a1, 16",
+        "lui a0, 0x12345",
+        "jal ra, 2048",
+        "slli a0, a0, 57",
+        "mulhu a2, a3, a4",
+        "ecall",
+    ])
+    def test_assemble_format_fixpoint(self, text):
+        """format(assemble(x)) == x for canonical text."""
+        ins = assemble(text, BASE_ISA).instructions[0]
+        assert format_instruction(BASE_ISA, ins) == text
+
+    @pytest.mark.parametrize("text,isa", [
+        ("maddlu t0, a0, a1, t0", FULL_RADIX_ISA),
+        ("maddhu s1, s2, s3, s4", FULL_RADIX_ISA),
+        ("cadd a0, a1, a2, a3", FULL_RADIX_ISA),
+        ("madd57lu t0, a0, a1, t0", REDUCED_RADIX_ISA),
+        ("madd57hu t1, a2, a3, t1", REDUCED_RADIX_ISA),
+        ("sraiadd a0, a1, a2, 57", REDUCED_RADIX_ISA),
+    ])
+    def test_custom_instruction_fixpoint(self, text, isa):
+        ins = assemble(text, isa).instructions[0]
+        assert format_instruction(isa, ins) == text
+
+
+class TestWordDisassembly:
+    def test_known_encoding(self):
+        # addi x0, x0, 0 == the canonical nop == 0x00000013
+        assert disassemble_word(BASE_ISA, 0x00000013) \
+            == "addi zero, zero, 0"
+
+    def test_custom_word(self):
+        ins = Instruction("maddlu", rd=5, rs1=10, rs2=11, rs3=5)
+        word = encode_instruction(FULL_RADIX_ISA, ins)
+        assert disassemble_word(FULL_RADIX_ISA, word) \
+            == "maddlu t0, a0, a1, t0"
+
+    @given(st.integers(0, 31), st.integers(0, 31), st.integers(0, 31))
+    def test_r_type_roundtrip_text(self, rd, rs1, rs2):
+        ins = Instruction("xor", rd=rd, rs1=rs1, rs2=rs2)
+        word = encode_instruction(BASE_ISA, ins)
+        text = disassemble_word(BASE_ISA, word)
+        again = assemble(text, BASE_ISA).instructions[0]
+        assert again == ins
+
+
+class TestProgramDisassembly:
+    def test_listing_renders_addresses(self):
+        program = assemble("nop\nadd a0, a1, a2\nret", BASE_ISA)
+        words = encode_program(BASE_ISA, program.instructions)
+        text = disassemble_program(BASE_ISA, words, base=0x1000)
+        lines = text.splitlines()
+        assert lines[0].startswith("00001000:")
+        assert lines[1].startswith("00001004:")
+        assert "add a0, a1, a2" in lines[1]
+
+    def test_full_kernel_reassembles(self, kernels512):
+        """disassemble(encode(assemble(kernel))) reassembles to the
+        same instruction sequence — a whole-kernel fixpoint."""
+        kernel = kernels512["fp_add.reduced.ise"]
+        program = assemble(kernel.source, kernel.isa)
+        words = encode_program(kernel.isa, program.instructions)
+        listing = disassemble_program(kernel.isa, words)
+        rebuilt = assemble(
+            "\n".join(line.split("  ", 2)[2] for line in
+                      listing.splitlines()),
+            kernel.isa,
+        )
+        assert rebuilt.instructions == program.instructions

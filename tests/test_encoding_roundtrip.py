@@ -1,0 +1,162 @@
+"""Encode/decode round-trip tests, including the custom R4 encodings.
+
+These tests pin the binary formats of Figures 1-3: opcode placement,
+funct2 selectors, and the sraiadd immediate field.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ise import (
+    CADD,
+    FULL_RADIX_ISA,
+    MADD57HU,
+    MADD57LU,
+    MADDHU,
+    MADDLU,
+    REDUCED_RADIX_ISA,
+    SRAIADD,
+)
+from repro.errors import EncodingError
+from repro.rv64.encoding import Decoder, encode, encode_instruction
+from repro.rv64.isa import BASE_ISA, Instruction
+
+REG = st.integers(min_value=0, max_value=31)
+
+
+def roundtrip(isa, ins: Instruction) -> Instruction:
+    return Decoder(isa).decode(encode_instruction(isa, ins))
+
+
+class TestBaseRoundtrip:
+    @given(REG, REG, REG)
+    def test_r_type(self, rd, rs1, rs2):
+        for mnemonic in ("add", "sub", "sltu", "mul", "mulhu", "and"):
+            ins = Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+            assert roundtrip(BASE_ISA, ins) == ins
+
+    @given(REG, REG, st.integers(-2048, 2047))
+    def test_i_type(self, rd, rs1, imm):
+        for mnemonic in ("addi", "andi", "ori", "xori", "sltiu", "ld"):
+            ins = Instruction(mnemonic, rd=rd, rs1=rs1, imm=imm)
+            assert roundtrip(BASE_ISA, ins) == ins
+
+    @given(REG, REG, st.integers(0, 63))
+    def test_shift_immediates(self, rd, rs1, shamt):
+        for mnemonic in ("slli", "srli", "srai"):
+            ins = Instruction(mnemonic, rd=rd, rs1=rs1, imm=shamt)
+            assert roundtrip(BASE_ISA, ins) == ins
+
+    @given(REG, REG, st.integers(0, 31))
+    def test_word_shift_immediates(self, rd, rs1, shamt):
+        for mnemonic in ("slliw", "srliw", "sraiw"):
+            ins = Instruction(mnemonic, rd=rd, rs1=rs1, imm=shamt)
+            assert roundtrip(BASE_ISA, ins) == ins
+
+    @given(REG, REG, st.integers(-2048, 2047))
+    def test_s_type(self, rs1, rs2, imm):
+        ins = Instruction("sd", rs1=rs1, rs2=rs2, imm=imm)
+        assert roundtrip(BASE_ISA, ins) == ins
+
+    @given(REG, REG, st.integers(-2048, 2046).map(lambda v: v & ~1))
+    def test_b_type(self, rs1, rs2, imm):
+        ins = Instruction("beq", rs1=rs1, rs2=rs2, imm=imm)
+        assert roundtrip(BASE_ISA, ins) == ins
+
+    @given(REG, st.integers(0, (1 << 20) - 1))
+    def test_u_type(self, rd, imm):
+        ins = Instruction("lui", rd=rd, imm=imm)
+        assert roundtrip(BASE_ISA, ins) == ins
+
+    @given(REG, st.integers(-(1 << 20), (1 << 20) - 2)
+           .map(lambda v: v & ~1))
+    def test_j_type(self, rd, imm):
+        ins = Instruction("jal", rd=rd, imm=imm)
+        assert roundtrip(BASE_ISA, ins) == ins
+
+    def test_system(self):
+        for mnemonic in ("ecall", "ebreak", "fence"):
+            ins = Instruction(mnemonic)
+            assert roundtrip(BASE_ISA, ins) == ins
+
+
+class TestCustomEncodings:
+    """Pin the exact bit layout of the paper's Figures 1-3."""
+
+    def test_opcode_and_funct2(self):
+        cases = [
+            (MADDLU, FULL_RADIX_ISA, 0b00),
+            (MADDHU, FULL_RADIX_ISA, 0b01),
+            (CADD, FULL_RADIX_ISA, 0b10),
+            (MADD57LU, REDUCED_RADIX_ISA, 0b10),
+            (MADD57HU, REDUCED_RADIX_ISA, 0b11),
+        ]
+        for spec, isa, funct2 in cases:
+            ins = Instruction(spec.mnemonic, rd=1, rs1=2, rs2=3, rs3=4)
+            word = encode(spec, ins)
+            assert word & 0x7F == 0b1111011, spec.mnemonic
+            assert (word >> 12) & 0b111 == 0b111
+            assert (word >> 25) & 0b11 == funct2
+            assert (word >> 27) & 0b11111 == 4  # rs3 in bits 31:27
+            assert Decoder(isa).decode(word) == ins
+
+    def test_sraiadd_layout(self):
+        ins = Instruction("sraiadd", rd=5, rs1=6, rs2=7, imm=57)
+        word = encode(SRAIADD, ins)
+        assert word & 0x7F == 0b0101011
+        assert (word >> 31) == 1
+        assert (word >> 25) & 0x3F == 57
+        assert Decoder(REDUCED_RADIX_ISA).decode(word) == ins
+
+    @given(REG, REG, REG, REG)
+    def test_r4_roundtrip_full(self, rd, rs1, rs2, rs3):
+        for mnemonic in ("maddlu", "maddhu", "cadd"):
+            ins = Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2, rs3=rs3)
+            assert roundtrip(FULL_RADIX_ISA, ins) == ins
+
+    @given(REG, REG, REG, REG)
+    def test_r4_roundtrip_reduced(self, rd, rs1, rs2, rs3):
+        for mnemonic in ("madd57lu", "madd57hu"):
+            ins = Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2, rs3=rs3)
+            assert roundtrip(REDUCED_RADIX_ISA, ins) == ins
+
+    @given(REG, REG, REG, st.integers(0, 63))
+    def test_sraiadd_roundtrip(self, rd, rs1, rs2, imm):
+        ins = Instruction("sraiadd", rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+        assert roundtrip(REDUCED_RADIX_ISA, ins) == ins
+
+    def test_custom_missing_from_base_isa(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(BASE_ISA, Instruction("maddlu"))
+
+
+class TestEncodingErrors:
+    def test_immediate_overflow(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(
+                BASE_ISA, Instruction("addi", rd=1, rs1=1, imm=5000))
+
+    def test_odd_branch_offset(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(
+                BASE_ISA, Instruction("beq", rs1=1, rs2=2, imm=3))
+
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(
+                BASE_ISA, Instruction("add", rd=32, rs1=0, rs2=0))
+
+    def test_shift_amount_overflow(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(
+                BASE_ISA, Instruction("slli", rd=1, rs1=1, imm=64))
+
+    def test_compressed_rejected(self):
+        with pytest.raises(EncodingError):
+            Decoder(BASE_ISA).decode(0x0001)  # 16-bit encoding
+
+    def test_garbage_rejected(self):
+        with pytest.raises(EncodingError):
+            Decoder(BASE_ISA).decode(0xFFFFFFFF)

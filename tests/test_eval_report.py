@@ -1,0 +1,58 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.csidh.parameters import csidh_mini
+from repro.eval.report import ReproductionReport, generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    # mini params keep the group-action instrumentation fast; the
+    # Table-4 side always uses the real CSIDH-512 kernels
+    return generate_report(params=csidh_mini(), keys=1, seed=2)
+
+
+class TestReport:
+    def test_type(self, report):
+        assert isinstance(report, ReproductionReport)
+
+    def test_markdown_sections(self, report):
+        text = report.to_markdown()
+        for heading in ("# Reproduction report", "## Table 3",
+                        "## Table 4", "## Group action",
+                        "## Listings", "## Critical path"):
+            assert heading in text
+
+    def test_table3_contains_both_cores(self, report):
+        assert "full-radix" in report.table3_markdown
+        assert "reduced-radix" in report.table3_markdown
+        assert "4807 / 4807" in report.table3_markdown
+
+    def test_table4_has_paper_columns(self, report):
+        assert "Fp-multiplication" in report.table4_markdown
+        assert "/" in report.table4_markdown  # ours/paper cells
+
+    def test_group_action_speedups(self, report):
+        assert report.group_action.speedup["full.isa"] == \
+            pytest.approx(1.0)
+        assert "1.71x" in report.group_action_markdown  # paper column
+
+    def test_listings_counts(self, report):
+        text = report.listings_markdown
+        assert "| full-radix MAC | 8 | 4 |" in text
+        assert "| reduced-radix MAC | 6 | 2 |" in text
+        assert "| carry propagation | 3 | 2 |" in text
+
+    def test_timing_verdict(self, report):
+        assert "does NOT extend" in report.timing_markdown
+
+    def test_markdown_tables_well_formed(self, report):
+        for section in (report.table3_markdown, report.table4_markdown,
+                        report.group_action_markdown):
+            lines = [line for line in section.splitlines()
+                     if line.startswith("|")]
+            widths = {line.count("|") for line in lines}
+            assert len(widths) == 1  # consistent column counts

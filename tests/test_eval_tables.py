@@ -1,0 +1,197 @@
+"""Tests for the evaluation harness: Tables 3/4 regeneration and the
+shape claims of the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.groupaction import compose_group_action
+from repro.eval.paperdata import PAPER_TABLE4
+from repro.eval.table3 import (
+    measure_table3,
+    model_matches_paper,
+    overhead_summary,
+    render_table3,
+)
+from repro.eval.table4 import measure_table4, render_table4
+from repro.csidh.opcount import average_group_action_profile
+from repro.kernels.spec import ALL_VARIANTS, TABLE4_OPERATIONS
+
+
+@pytest.fixture(scope="module")
+def table4(p512):
+    return measure_table4(p512)
+
+
+@pytest.fixture(scope="module")
+def ga_result(table4, mini_params):
+    # mini params keep this test fast; the variant *ordering* is what
+    # matters and it is driven by the per-op costs, not the key size
+    profile = average_group_action_profile(mini_params, keys=2, seed=3)
+    return compose_group_action(table4, profile)
+
+
+class TestTable3:
+    def test_rows(self):
+        rows = measure_table3()
+        assert [r.key for r in rows] == ["base", "full", "reduced"]
+
+    def test_matches_paper_within_tolerance(self):
+        assert model_matches_paper(tolerance=0.15)
+
+    def test_overhead_summary_structure(self):
+        summary = overhead_summary()
+        assert set(summary) == {"full", "reduced"}
+        assert summary["full"]["dsps"] == 0.0
+
+    def test_render_contains_paper_rows(self):
+        text = render_table3()
+        assert "base core" in text
+        assert "4807" in text  # paper baseline visible for comparison
+
+
+class TestTable4Shape:
+    """The paper's qualitative claims, checked against *our* numbers."""
+
+    def test_all_cells_measured(self, table4):
+        for op in TABLE4_OPERATIONS:
+            for variant in ALL_VARIANTS:
+                assert table4.cycles[op][variant] > 0
+
+    def test_full_beats_reduced_isa_only_mul(self, table4):
+        """ISA-only: full radix wins multiplication, reduction and the
+        composed Fp ops (Table 4 — note the paper's *integer squaring*
+        row goes the other way thanks to the doubled-limb trick, which
+        we reproduce below)."""
+        for op in ("int_mul", "mont_redc", "fp_mul", "fp_sqr"):
+            row = table4.cycles[op]
+            assert row["full.isa"] < row["reduced.isa"], op
+
+    def test_reduced_wins_isa_only_integer_squaring(self, table4):
+        """Paper Table 4: 398 < 440 — reduced-radix ISA-only squaring
+        beats full radix (58-bit doubled limbs halve the cross MACs)."""
+        row = table4.cycles["int_sqr"]
+        assert row["reduced.isa"] < row["full.isa"]
+
+    def test_reduced_beats_full_isa_only_add(self, table4):
+        """ISA-only: reduced radix wins Fp-addition (delayed carries)."""
+        row = table4.cycles["fp_add"]
+        assert row["reduced.isa"] < row["full.isa"]
+
+    def test_ise_reverses_the_radix_choice(self, table4):
+        """With ISEs the reduced radix becomes the faster option for
+        multiplication/squaring — the paper's central finding."""
+        for op in ("int_mul", "int_sqr", "fp_mul", "fp_sqr",
+                   "mont_redc"):
+            row = table4.cycles[op]
+            assert row["reduced.ise"] < row["full.ise"], op
+
+    def test_ise_always_helps(self, table4):
+        for op in TABLE4_OPERATIONS:
+            row = table4.cycles[op]
+            assert row["full.ise"] <= row["full.isa"], op
+            assert row["reduced.ise"] <= row["reduced.isa"], op
+
+    def test_full_radix_addsub_unchanged_by_ise(self, table4):
+        for op in ("fast_reduce", "fp_add", "fp_sub"):
+            row = table4.cycles[op]
+            assert row["full.ise"] == row["full.isa"], op
+
+    def test_fp_mul_is_sum_of_parts(self, table4):
+        """Fp-mul ~ int-mul + Montgomery reduction + fast reduction
+        (the additive structure visible in the paper's Table 4)."""
+        for variant in ALL_VARIANTS:
+            parts = (table4.cycles["int_mul"][variant]
+                     + table4.cycles["mont_redc"][variant]
+                     + table4.cycles["fast_reduce"][variant])
+            whole = table4.cycles["fp_mul"][variant]
+            assert abs(whole - parts) / whole < 0.10, variant
+
+    def test_within_2x_of_paper_absolute(self, table4):
+        """Loose absolute sanity: every cell within 2x of the paper."""
+        for op in TABLE4_OPERATIONS:
+            for variant in ALL_VARIANTS:
+                ours = table4.cycles[op][variant]
+                paper = PAPER_TABLE4[op][variant]
+                assert 0.5 < ours / paper < 2.0, (op, variant)
+
+    def test_render(self, table4):
+        text = render_table4(table4)
+        assert "Fp-multiplication" in text
+        assert "(paper)" in text
+
+
+class TestGroupActionComposition:
+    def test_speedup_ordering_matches_paper(self, ga_result):
+        """reduced-ISE > full-ISE > full-ISA > reduced-ISA."""
+        s = ga_result.speedup
+        assert s["reduced.ise"] > s["full.ise"] > s["full.isa"] \
+            > s["reduced.isa"]
+
+    def test_baseline_is_unity(self, ga_result):
+        assert ga_result.speedup["full.isa"] == pytest.approx(1.0)
+
+    def test_headline_speedup_band(self, ga_result):
+        """The 1.71x headline: we accept a generous band around it."""
+        assert 1.4 < ga_result.speedup["reduced.ise"] < 2.1
+
+    def test_reduced_isa_slower_than_baseline(self, ga_result):
+        assert 0.8 < ga_result.speedup["reduced.isa"] < 1.0
+
+    def test_summary_lines_render(self, ga_result):
+        lines = ga_result.summary_lines()
+        assert len(lines) == 5
+        assert "reduced.ise" in lines[-1]
+
+
+class TestCurveOpLayer:
+    """E16-style intermediate layer: curve-primitive cycle costs."""
+
+    def test_recipes_match_implementation(self, toy_params):
+        from repro.eval.curveops import (
+            verify_recipes_against_implementation,
+        )
+
+        assert verify_recipes_against_implementation(toy_params.p)
+
+    def test_costs_ordering(self, table4):
+        from repro.eval.curveops import curve_op_costs
+
+        costs = curve_op_costs(table4)
+        for op in ("xDBL", "xADD", "ladder_step"):
+            row = costs.cycles[op]
+            assert row["reduced.ise"] < row["full.ise"] \
+                < row["full.isa"] < row["reduced.isa"], op
+
+    def test_ladder_cost_scales_with_bits(self, table4):
+        from repro.eval.curveops import curve_op_costs
+
+        costs = curve_op_costs(table4)
+        assert costs.ladder_cost("full.isa", 512) \
+            == 2 * costs.ladder_cost("full.isa", 256)
+
+    def test_ladder_dominates_group_action_estimate(self, table4,
+                                                    csidh512_params):
+        """A 511-bit ladder is ~10M cycles; a dozen rounds of ladders
+        plus isogenies lands in the CSIDH-512 group action's ballpark —
+        a consistency check between the analytic layers."""
+        from repro.csidh.opcount import count_group_action
+        from repro.eval.curveops import curve_op_costs
+        from repro.eval.groupaction import compose_group_action
+        import random
+
+        profile = count_group_action(
+            csidh512_params,
+            csidh512_params.sample_private_key(random.Random(1)),
+            seed=2)
+        result = compose_group_action(table4, profile)
+        costs = curve_op_costs(table4)
+        one_ladder = costs.ladder_cost("full.isa", 511)
+        assert one_ladder * 5 < result.cycles["full.isa"] \
+            < one_ladder * 200
+
+    def test_render(self, table4):
+        from repro.eval.curveops import curve_op_costs
+
+        text = curve_op_costs(table4).render()
+        assert "xDBL" in text and "ladder_step" in text

@@ -1,0 +1,126 @@
+"""Tests for the instrumented field context and counters."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.field.counters import CountingScope, OpCosts, OpCounter
+from repro.field.fp import FieldContext
+
+P = 19399379  # CSIDH-mini prime
+
+
+@pytest.fixture()
+def field():
+    return FieldContext(P)
+
+
+class TestArithmetic:
+    @given(st.integers(0, P - 1), st.integers(0, P - 1))
+    def test_add_sub_mul(self, a, b):
+        field = FieldContext(P)
+        assert field.add(a, b) == (a + b) % P
+        assert field.sub(a, b) == (a - b) % P
+        assert field.mul(a, b) == (a * b) % P
+
+    @given(st.integers(0, P - 1))
+    def test_sqr(self, a):
+        assert FieldContext(P).sqr(a) == (a * a) % P
+
+    @given(st.integers(1, P - 1))
+    def test_inv(self, a):
+        field = FieldContext(P)
+        assert field.mul(field.inv(a), a) == 1
+
+    def test_inv_zero_rejected(self, field):
+        with pytest.raises(ParameterError):
+            field.inv(0)
+
+    @given(st.integers(0, P - 1), st.integers(0, 1000))
+    def test_pow(self, base, exp):
+        assert FieldContext(P).pow(base, exp) == pow(base, exp, P)
+
+    def test_pow_negative_rejected(self, field):
+        with pytest.raises(ParameterError):
+            field.pow(2, -1)
+
+    @given(st.integers(1, P - 1))
+    def test_legendre_consistent_with_squares(self, a):
+        field = FieldContext(P)
+        assert field.legendre(field.sqr(a)) == 1
+
+    def test_legendre_zero(self, field):
+        assert field.legendre(0) == 0
+
+    def test_legendre_nonsquare_exists(self, field):
+        symbols = {field.legendre(a) for a in range(1, 50)}
+        assert symbols == {1, -1}
+
+    def test_even_characteristic_rejected(self):
+        with pytest.raises(ParameterError):
+            FieldContext(8)
+
+
+class TestCounting:
+    def test_primitives_counted(self, field):
+        field.mul(2, 3)
+        field.sqr(2)
+        field.add(1, 1)
+        field.sub(1, 1)
+        c = field.counter
+        assert (c.mul, c.sqr, c.add, c.sub) == (1, 1, 1, 1)
+
+    def test_inv_decomposes_into_sqr_mul(self, field):
+        field.counter.reset()
+        field.inv(1234)
+        assert field.counter.sqr > 20      # square-and-multiply ladder
+        assert field.counter.mul > 0
+        assert field.counter.add == 0
+
+    def test_legendre_cost_scales_with_p(self):
+        small = FieldContext(419)
+        small.legendre(5)
+        big = FieldContext(P)
+        big.legendre(5)
+        assert big.counter.sqr > small.counter.sqr
+
+    def test_counting_scope(self, field):
+        with CountingScope(field.counter) as scope:
+            field.mul(3, 4)
+            field.mul(3, 4)
+        assert scope.delta.mul == 2
+        field.mul(3, 4)
+        assert scope.delta.mul == 2  # frozen after exit
+
+
+class TestOpCounter:
+    def test_arithmetic(self):
+        a = OpCounter(1, 2, 3, 4)
+        b = OpCounter(10, 20, 30, 40)
+        assert (a + b).mul == 11
+        assert (b - a).sub == 36
+        assert a.total == 10
+
+    def test_cycles_composition(self):
+        counter = OpCounter(mul=100, sqr=50, add=10, sub=5)
+        costs = OpCosts(fp_mul=1000, fp_sqr=800, fp_add=100, fp_sub=90)
+        assert counter.cycles(costs) == \
+            100 * 1000 + 50 * 800 + 10 * 100 + 5 * 90
+
+    def test_from_mapping(self):
+        costs = OpCosts.from_mapping(
+            {"fp_mul": 1, "fp_sqr": 2, "fp_add": 3, "fp_sub": 4},
+            label="x")
+        assert (costs.fp_mul, costs.fp_sub) == (1, 4)
+
+    def test_mul_equivalents(self):
+        counter = OpCounter(mul=10, sqr=10, add=10, sub=10)
+        assert counter.mul_equivalents == pytest.approx(10 + 8 + 2)
+
+    def test_copy_independent(self):
+        a = OpCounter(mul=1)
+        b = a.copy()
+        b.mul += 1
+        assert a.mul == 1

@@ -1,0 +1,115 @@
+"""Tests for the CSIDH class group action."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.csidh.group_action import ActionStats, group_action
+from repro.errors import ParameterError
+from repro.field.fp import FieldContext
+
+
+@pytest.fixture(scope="module")
+def toy_field(toy_params):
+    return FieldContext(toy_params.p)
+
+
+@pytest.fixture(scope="module")
+def mini_field(mini_params):
+    return FieldContext(mini_params.p)
+
+
+class TestBasics:
+    def test_identity_action_is_noop(self, toy_params, toy_field, rng):
+        zero = (0,) * toy_params.num_primes
+        assert group_action(toy_params, toy_field, 0, zero, rng) == 0
+
+    def test_deterministic_in_exponents(self, toy_params, toy_field):
+        e = (1, -2, 1)
+        a1 = group_action(toy_params, toy_field, 0, e,
+                          random.Random(1))
+        a2 = group_action(toy_params, toy_field, 0, e,
+                          random.Random(999))
+        assert a1 == a2  # randomness must not affect the result
+
+    def test_result_is_new_supersingular_curve(self, toy_params,
+                                               toy_field, rng):
+        from repro.csidh.validate import is_supersingular
+        a = group_action(toy_params, toy_field, 0, (1, 1, 1), rng)
+        assert a != 0
+        assert is_supersingular(toy_params, toy_field, a,
+                                random.Random(5))
+
+    def test_wrong_exponent_count(self, toy_params, toy_field, rng):
+        with pytest.raises(ParameterError):
+            group_action(toy_params, toy_field, 0, (1, 2), rng)
+
+    def test_exponent_bound_enforced(self, toy_params, toy_field, rng):
+        with pytest.raises(ParameterError):
+            group_action(toy_params, toy_field, 0, (99, 0, 0), rng)
+
+
+class TestGroupStructure:
+    def test_commutativity(self, toy_params, toy_field, rng):
+        """The headline property: ideals act commutatively."""
+        e1 = (1, 0, -1)
+        e2 = (0, 2, 1)
+        a_12 = group_action(
+            toy_params, toy_field,
+            group_action(toy_params, toy_field, 0, e1, rng), e2, rng)
+        a_21 = group_action(
+            toy_params, toy_field,
+            group_action(toy_params, toy_field, 0, e2, rng), e1, rng)
+        assert a_12 == a_21
+
+    def test_composition_equals_sum_of_exponents(self, toy_params,
+                                                 toy_field, rng):
+        e1 = (1, -1, 0)
+        e2 = (1, 1, 1)
+        combined = tuple(x + y for x, y in zip(e1, e2))
+        step = group_action(toy_params, toy_field, 0, e1, rng)
+        two_step = group_action(toy_params, toy_field, step, e2, rng)
+        direct = group_action(toy_params, toy_field, 0, combined, rng)
+        assert two_step == direct
+
+    def test_inverse_returns_to_start(self, toy_params, toy_field, rng):
+        e = (2, -1, 1)
+        inverse = tuple(-x for x in e)
+        there = group_action(toy_params, toy_field, 0, e, rng)
+        back = group_action(toy_params, toy_field, there, inverse, rng)
+        assert back == 0
+
+    def test_single_positive_vs_negative_differ(self, toy_params,
+                                                toy_field, rng):
+        plus = group_action(toy_params, toy_field, 0, (1, 0, 0), rng)
+        minus = group_action(toy_params, toy_field, 0, (-1, 0, 0), rng)
+        assert plus != minus
+
+    def test_mini_params_commutativity(self, mini_params, mini_field,
+                                       rng):
+        e1 = mini_params.sample_private_key(random.Random(11))
+        e2 = mini_params.sample_private_key(random.Random(22))
+        a1 = group_action(mini_params, mini_field, 0, e1, rng)
+        a12 = group_action(mini_params, mini_field, a1, e2, rng)
+        a2 = group_action(mini_params, mini_field, 0, e2, rng)
+        a21 = group_action(mini_params, mini_field, a2, e1, rng)
+        assert a12 == a21
+
+
+class TestStats:
+    def test_isogeny_count_matches_exponent_weight(self, toy_params,
+                                                   toy_field, rng):
+        stats = ActionStats()
+        exponents = (2, -1, 1)
+        group_action(toy_params, toy_field, 0, exponents, rng,
+                     stats=stats)
+        assert stats.isogenies == sum(abs(e) for e in exponents)
+        assert stats.rounds >= 1
+
+    def test_max_rounds_guard(self, toy_params, toy_field):
+        from repro.errors import ProtocolError
+        with pytest.raises(ProtocolError):
+            group_action(toy_params, toy_field, 0, (1, 0, 0),
+                         random.Random(0), max_rounds=0)

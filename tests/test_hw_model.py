@@ -1,0 +1,121 @@
+"""Tests for the hardware area model (Table 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.paperdata import PAPER_TABLE3
+from repro.hw.components import (
+    AreaCost,
+    adder,
+    barrel_shifter,
+    control,
+    multiplier,
+    mux,
+    register,
+)
+from repro.hw.core_model import BASE_CORE, ROCKET_BLOCKS
+from repro.hw.xmul import (
+    FULL_RADIX_CORE,
+    REDUCED_RADIX_CORE,
+    full_radix_parts,
+    reduced_radix_parts,
+)
+
+
+class TestComponents:
+    def test_area_addition(self):
+        total = adder(64) + register(64)
+        assert total.luts == 64
+        assert total.regs == 64
+
+    def test_scaling(self):
+        assert adder(64).scaled(2).gates == 2 * adder(64).gates
+
+    def test_mux_tree_grows_with_ways(self):
+        assert mux(64, 4).luts > mux(64, 2).luts
+        assert mux(64, 1).luts == 0
+
+    def test_barrel_shifter_is_log_stages(self):
+        assert barrel_shifter(64).luts == mux(64, 2).luts * 6
+
+    def test_multiplier_dsps(self):
+        assert multiplier(64).dsps == 16  # matches the Rocket baseline
+
+    def test_control_small(self):
+        assert control(6).luts < adder(64).luts
+
+
+class TestBaseCore:
+    def test_blocks_sum_to_paper_baseline(self):
+        total = BASE_CORE.total_area
+        paper = PAPER_TABLE3["base"]
+        assert (total.luts, total.regs, total.dsps, total.gates) == paper
+
+    def test_fpu_is_largest_block(self):
+        fpu = next(b for b in ROCKET_BLOCKS if b.name == "fpu")
+        assert all(b.area.luts <= fpu.area.luts for b in ROCKET_BLOCKS)
+
+    def test_no_extension(self):
+        assert BASE_CORE.extension is None
+        assert BASE_CORE.overhead_percent()["luts"] == 0.0
+
+
+class TestExtendedCores:
+    @pytest.mark.parametrize("core,key", [
+        (FULL_RADIX_CORE, "full"),
+        (REDUCED_RADIX_CORE, "reduced"),
+    ])
+    def test_within_tolerance_of_paper(self, core, key):
+        got = core.total_area
+        want = PAPER_TABLE3[key]
+        for got_value, want_value in zip(
+            (got.luts, got.regs, got.dsps, got.gates), want
+        ):
+            if want_value:
+                assert abs(got_value - want_value) / want_value < 0.12
+
+    def test_no_extra_dsps(self):
+        """The paper: XMUL extends the existing multiplier; DSP count
+        stays at 16 for both variants."""
+        base = BASE_CORE.total_area.dsps
+        assert FULL_RADIX_CORE.total_area.dsps == base
+        assert REDUCED_RADIX_CORE.total_area.dsps == base
+
+    def test_reduced_needs_more_luts_fewer_regs(self):
+        """Table 3 orderings: reduced-radix costs more LUTs (shifters,
+        masks) but fewer registers than full-radix."""
+        full = FULL_RADIX_CORE.total_area
+        reduced = REDUCED_RADIX_CORE.total_area
+        assert reduced.luts > full.luts
+        assert reduced.regs < full.regs
+
+    def test_overhead_is_about_ten_percent(self):
+        """The abstract's headline: ~10% hardware overhead."""
+        for core in (FULL_RADIX_CORE, REDUCED_RADIX_CORE):
+            pct = core.overhead_percent()
+            assert 2 < pct["luts"] < 12
+            assert 5 < pct["regs"] < 13
+            assert pct["dsps"] == 0
+
+    def test_parts_enumerate_structures(self):
+        names_full = {part.name for part in full_radix_parts()}
+        assert any("cadd" in n for n in names_full)
+        assert any("accumulate adder" in n for n in names_full)
+        names_reduced = {part.name for part in reduced_radix_parts()}
+        assert any("sraiadd" in n for n in names_reduced)
+        assert any("mask" in n for n in names_reduced)
+
+    def test_common_r4_infrastructure_shared(self):
+        full_names = {p.name for p in full_radix_parts()}
+        reduced_names = {p.name for p in reduced_radix_parts()}
+        shared = full_names & reduced_names
+        assert "rs3 input register" in shared
+        assert "decoder modifications" in shared
+
+
+class TestAreaCostInvariants:
+    def test_rounded(self):
+        area = AreaCost(1.4, 2.6, 0.0, 10.5)
+        rounded = area.rounded()
+        assert (rounded.luts, rounded.regs) == (1, 3)

@@ -1,0 +1,170 @@
+"""Semantics tests for the RV64I integer instructions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rv64.bits import MASK64, s64, u64
+from tests.helpers import run_asm
+
+U64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestArithmetic:
+    @given(U64, U64)
+    def test_add_wraps(self, a, b):
+        m = run_asm("add a0, a1, a2", {"a1": a, "a2": b})
+        assert m.regs["a0"] == u64(a + b)
+
+    @given(U64, U64)
+    def test_sub_wraps(self, a, b):
+        m = run_asm("sub a0, a1, a2", {"a1": a, "a2": b})
+        assert m.regs["a0"] == u64(a - b)
+
+    def test_addi_negative(self):
+        m = run_asm("addi a0, a1, -5", {"a1": 3})
+        assert m.regs["a0"] == u64(-2)
+
+    def test_addiw_sign_extends(self):
+        m = run_asm("addiw a0, a1, 1", {"a1": 0x7FFFFFFF})
+        assert m.regs["a0"] == u64(-(1 << 31))
+
+    def test_addw_subw(self):
+        m = run_asm("addw a0, a1, a2\nsubw a3, a1, a2",
+                    {"a1": 0xFFFFFFFF, "a2": 1})
+        assert m.regs["a0"] == 0       # 0x100000000 wraps to 32-bit 0
+        assert m.regs["a3"] == u64(-2)  # s32(0xFFFFFFFE) sign-extended
+
+
+class TestComparisons:
+    @given(U64, U64)
+    def test_sltu(self, a, b):
+        m = run_asm("sltu a0, a1, a2", {"a1": a, "a2": b})
+        assert m.regs["a0"] == int(a < b)
+
+    @given(U64, U64)
+    def test_slt_signed(self, a, b):
+        m = run_asm("slt a0, a1, a2", {"a1": a, "a2": b})
+        assert m.regs["a0"] == int(s64(a) < s64(b))
+
+    def test_sltiu_one_is_seqz(self):
+        assert run_asm("sltiu a0, a1, 1", {"a1": 0}).regs["a0"] == 1
+        assert run_asm("sltiu a0, a1, 1", {"a1": 5}).regs["a0"] == 0
+
+    def test_slti_negative_bound(self):
+        m = run_asm("slti a0, a1, -1", {"a1": u64(-2)})
+        assert m.regs["a0"] == 1
+
+
+class TestLogic:
+    @given(U64, U64)
+    def test_xor_or_and(self, a, b):
+        m = run_asm(
+            "xor a0, a1, a2\nor a3, a1, a2\nand a4, a1, a2",
+            {"a1": a, "a2": b},
+        )
+        assert m.regs["a0"] == a ^ b
+        assert m.regs["a3"] == a | b
+        assert m.regs["a4"] == a & b
+
+    def test_immediates_sign_extend(self):
+        m = run_asm("andi a0, a1, -1\nori a2, zero, -1",
+                    {"a1": 0x1234})
+        assert m.regs["a0"] == 0x1234
+        assert m.regs["a2"] == MASK64
+
+
+class TestShifts:
+    @given(U64, st.integers(0, 63))
+    def test_slli_srli(self, a, sh):
+        m = run_asm(f"slli a0, a1, {sh}\nsrli a2, a1, {sh}", {"a1": a})
+        assert m.regs["a0"] == u64(a << sh)
+        assert m.regs["a2"] == a >> sh
+
+    @given(U64, st.integers(0, 63))
+    def test_srai(self, a, sh):
+        m = run_asm(f"srai a0, a1, {sh}", {"a1": a})
+        assert m.regs["a0"] == u64(s64(a) >> sh)
+
+    @given(U64, U64)
+    def test_register_shifts_use_low_6_bits(self, a, b):
+        m = run_asm("sll a0, a1, a2\nsrl a3, a1, a2",
+                    {"a1": a, "a2": b})
+        assert m.regs["a0"] == u64(a << (b & 63))
+        assert m.regs["a3"] == a >> (b & 63)
+
+    def test_word_shifts(self):
+        m = run_asm("slliw a0, a1, 4\nsrliw a2, a1, 4\nsraiw a3, a1, 4",
+                    {"a1": 0x80000000})
+        assert m.regs["a0"] == 0  # 0x800000000 truncated to 32 -> 0
+        assert m.regs["a2"] == 0x08000000
+        assert m.regs["a3"] == u64(-0x8000000)
+
+
+class TestUpperImmediates:
+    def test_lui_sign_extends(self):
+        m = run_asm("lui a0, 0x80000")
+        assert m.regs["a0"] == u64(-(1 << 31))
+
+    def test_lui_positive(self):
+        m = run_asm("lui a0, 0x12345")
+        assert m.regs["a0"] == 0x12345000
+
+    def test_auipc(self):
+        m = run_asm("auipc a0, 1")  # pc = 0x1000 at first instruction
+        assert m.regs["a0"] == 0x1000 + 0x1000
+
+
+class TestLoadsStores:
+    def test_ld_sd(self):
+        m = run_asm("ld a0, 0(a1)\nsd a0, 8(a1)",
+                    {"a1": 0x9000}, {0x9000: 0xDEADBEEF12345678})
+        assert m.mem.load_u64(0x9008) == 0xDEADBEEF12345678
+
+    def test_lw_sign_extends(self):
+        m = run_asm("lw a0, 0(a1)", {"a1": 0x9000},
+                    {0x9000: 0x00000000_FFFFFFFF})
+        assert m.regs["a0"] == MASK64
+
+    def test_lwu_zero_extends(self):
+        m = run_asm("lwu a0, 0(a1)", {"a1": 0x9000},
+                    {0x9000: 0x00000000_FFFFFFFF})
+        assert m.regs["a0"] == 0xFFFFFFFF
+
+    def test_lb_lbu(self):
+        m = run_asm("lb a0, 0(a1)\nlbu a2, 0(a1)", {"a1": 0x9000},
+                    {0x9000: 0x80})
+        assert m.regs["a0"] == u64(-128)
+        assert m.regs["a2"] == 0x80
+
+    def test_lh_lhu_sh(self):
+        m = run_asm("sh a2, 0(a1)\nlh a0, 0(a1)\nlhu a3, 0(a1)",
+                    {"a1": 0x9000, "a2": 0xFFFF})
+        assert m.regs["a0"] == MASK64
+        assert m.regs["a3"] == 0xFFFF
+
+    def test_negative_offset(self):
+        m = run_asm("sd a2, -8(a1)", {"a1": 0x9010, "a2": 77})
+        assert m.mem.load_u64(0x9008) == 77
+
+
+class TestPseudoInstructions:
+    def test_mv_not_neg(self):
+        m = run_asm("mv a0, a1\nnot a2, a1\nneg a3, a1", {"a1": 5})
+        assert m.regs["a0"] == 5
+        assert m.regs["a2"] == u64(~5)
+        assert m.regs["a3"] == u64(-5)
+
+    def test_seqz_snez(self):
+        m = run_asm("seqz a0, a1\nsnez a2, a1", {"a1": 0})
+        assert (m.regs["a0"], m.regs["a2"]) == (1, 0)
+
+    @pytest.mark.parametrize("value", [
+        0, 1, -1, 2047, -2048, 2048, 0x7FFFFFFF, -0x80000000,
+        0x123456789ABCDEF0, (1 << 57) - 1, (1 << 64) - 1,
+        0x8000000000000000,
+    ])
+    def test_li_exact(self, value):
+        m = run_asm(f"li a0, {value}")
+        assert m.regs["a0"] == u64(value)

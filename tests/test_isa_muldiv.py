@@ -1,0 +1,104 @@
+"""Semantics tests for the RV64M multiply/divide instructions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rv64.bits import MASK64, s32, s64, u32, u64
+from tests.helpers import run_asm
+
+U64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestMultiply:
+    @given(U64, U64)
+    def test_mul_low(self, a, b):
+        m = run_asm("mul a0, a1, a2", {"a1": a, "a2": b})
+        assert m.regs["a0"] == u64(a * b)
+
+    @given(U64, U64)
+    def test_mulhu(self, a, b):
+        m = run_asm("mulhu a0, a1, a2", {"a1": a, "a2": b})
+        assert m.regs["a0"] == (a * b) >> 64
+
+    @given(U64, U64)
+    def test_mulh(self, a, b):
+        m = run_asm("mulh a0, a1, a2", {"a1": a, "a2": b})
+        assert m.regs["a0"] == u64((s64(a) * s64(b)) >> 64)
+
+    @given(U64, U64)
+    def test_mulhsu(self, a, b):
+        m = run_asm("mulhsu a0, a1, a2", {"a1": a, "a2": b})
+        assert m.regs["a0"] == u64((s64(a) * b) >> 64)
+
+    @given(U64, U64)
+    def test_mul_mulhu_recompose(self, a, b):
+        m = run_asm("mulhu a0, a1, a2\nmul a3, a1, a2",
+                    {"a1": a, "a2": b})
+        assert (m.regs["a0"] << 64) | m.regs["a3"] == a * b
+
+    def test_mulw(self):
+        m = run_asm("mulw a0, a1, a2",
+                    {"a1": 0x80000000, "a2": 2})
+        assert m.regs["a0"] == 0  # 2^32 wraps to 0 in 32 bits
+
+
+class TestDivide:
+    @given(U64, U64)
+    def test_divu_remu(self, a, b):
+        m = run_asm("divu a0, a1, a2\nremu a3, a1, a2",
+                    {"a1": a, "a2": b})
+        if b == 0:
+            assert m.regs["a0"] == MASK64
+            assert m.regs["a3"] == a
+        else:
+            assert m.regs["a0"] == a // b
+            assert m.regs["a3"] == a % b
+
+    @given(U64, U64)
+    def test_div_rem_identity(self, a, b):
+        m = run_asm("div a0, a1, a2\nrem a3, a1, a2",
+                    {"a1": a, "a2": b})
+        if b != 0:
+            q, r = s64(m.regs["a0"]), s64(m.regs["a3"])
+            assert u64(q * s64(b) + r) == a
+            assert abs(r) < abs(s64(b)) or s64(b) == 0
+
+    def test_div_rounds_toward_zero(self):
+        m = run_asm("div a0, a1, a2", {"a1": u64(-7), "a2": 2})
+        assert s64(m.regs["a0"]) == -3
+
+    def test_div_overflow_case(self):
+        m = run_asm("div a0, a1, a2\nrem a3, a1, a2",
+                    {"a1": 1 << 63, "a2": MASK64})  # INT_MIN / -1
+        assert m.regs["a0"] == 1 << 63
+        assert m.regs["a3"] == 0
+
+    def test_div_by_zero(self):
+        m = run_asm("div a0, a1, zero\nrem a3, a1, zero", {"a1": 5})
+        assert m.regs["a0"] == MASK64
+        assert m.regs["a3"] == 5
+
+    @pytest.mark.parametrize("a,b,quot,rem", [
+        (7, 2, 3, 1),
+        (0x80000000, 1, -0x80000000, 0),        # divw sign extension
+    ])
+    def test_divw_remw(self, a, b, quot, rem):
+        m = run_asm("divw a0, a1, a2\nremw a3, a1, a2",
+                    {"a1": a, "a2": b})
+        assert s64(m.regs["a0"]) == quot
+        assert s64(m.regs["a3"]) == rem
+
+    def test_divuw_zero(self):
+        m = run_asm("divuw a0, a1, zero", {"a1": 4})
+        assert m.regs["a0"] == MASK64
+
+    @given(U64, U64)
+    def test_divuw_matches(self, a, b):
+        m = run_asm("divuw a0, a1, a2\nremuw a3, a1, a2",
+                    {"a1": a, "a2": b})
+        ua, ub = u32(a), u32(b)
+        if ub:
+            assert m.regs["a0"] == u64(s32(ua // ub))
+            assert m.regs["a3"] == u64(s32(ua % ub))

@@ -1,0 +1,133 @@
+"""Tests for the kernel runner/registry machinery itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.registry import (
+    build_all_kernels,
+    build_kernel,
+    cached_kernels,
+    make_contexts,
+)
+from repro.kernels.runner import KernelRunner, run_kernel
+from repro.kernels.spec import ALL_VARIANTS, TABLE4_OPERATIONS
+from repro.rv64.pipeline import PipelineConfig
+
+
+class TestRegistry:
+    def test_full_matrix_generated(self, kernels512):
+        # 9 operations x 4 variants + operand-scanning (full only)
+        assert len(kernels512) == 38
+        for op in TABLE4_OPERATIONS:
+            for variant in ALL_VARIANTS:
+                assert f"{op}.{variant}" in kernels512
+        assert "int_mul_os.full.isa" in kernels512
+        assert "int_mul_os.full.ise" in kernels512
+
+    def test_cached_kernels_memoised(self, p512):
+        assert cached_kernels(p512) is cached_kernels(p512)
+
+    def test_unknown_variant_rejected(self, contexts512):
+        with pytest.raises(KernelError):
+            build_kernel("int_mul", "full.fancy", contexts512[0])
+
+    def test_contexts_shapes(self, p512):
+        full, reduced = make_contexts(p512)
+        assert full.radix.limbs == 8
+        assert reduced.radix.limbs == 9
+        assert full.modulus == reduced.modulus == p512
+
+    def test_sources_end_with_ret(self, kernels512):
+        for kernel in kernels512.values():
+            assert kernel.source.rstrip().endswith("ret")
+
+    def test_variant_isa_assignment(self, kernels512):
+        assert kernels512["int_mul.full.isa"].isa.name == "rv64im"
+        assert "ise-full" in kernels512["int_mul.full.ise"].isa.name
+        assert "ise-reduced" in \
+            kernels512["int_mul.reduced.ise"].isa.name
+
+
+class TestRunner:
+    def test_wrong_arity_rejected(self, kernels512):
+        runner = KernelRunner(kernels512["int_mul.full.isa"])
+        with pytest.raises(KernelError, match="operands"):
+            runner.run(1)
+
+    def test_mismatch_detection(self, kernels512, monkeypatch):
+        kernel = kernels512["int_mul.full.isa"]
+        bad = kernel.__class__(**{**kernel.__dict__,
+                                  "reference": lambda a, b: a * b + 1})
+        with pytest.raises(KernelError, match="expected"):
+            KernelRunner(bad).run(3, 4)
+
+    def test_check_can_be_disabled(self, kernels512):
+        kernel = kernels512["int_mul.full.isa"]
+        bad = kernel.__class__(**{**kernel.__dict__,
+                                  "reference": lambda a, b: a * b + 1})
+        run = KernelRunner(bad).run(3, 4, check=False)
+        assert run.value == 12
+
+    def test_reuse_across_runs(self, kernels512, rng, p512):
+        runner = KernelRunner(kernels512["fp_add.full.isa"])
+        for _ in range(5):
+            a, b = rng.randrange(p512), rng.randrange(p512)
+            assert runner.run(a, b).value == (a + b) % p512
+
+    def test_cycles_deterministic(self, kernels512, rng, p512):
+        """Straight-line kernels: cycle count independent of data."""
+        runner = KernelRunner(kernels512["fp_mul.reduced.ise"])
+        cycles = {
+            runner.run(rng.randrange(p512), rng.randrange(p512)).cycles
+            for _ in range(4)
+        }
+        assert len(cycles) == 1
+
+    def test_run_kernel_one_shot(self, kernels512):
+        run = run_kernel(kernels512["int_sqr.full.isa"], 12345)
+        assert run.value == 12345 ** 2
+
+    def test_pipeline_config_changes_cycles(self, kernels512):
+        kernel = kernels512["int_mul.full.isa"]
+        fast = KernelRunner(
+            kernel, pipeline_config=PipelineConfig(mul_latency=1))
+        slow = KernelRunner(
+            kernel, pipeline_config=PipelineConfig(mul_latency=6))
+        assert slow.run(3, 4).cycles > fast.run(3, 4).cycles
+
+    def test_code_bytes_reported(self, kernels512):
+        runner = KernelRunner(kernels512["int_mul.full.isa"])
+        assert runner.code_bytes > 4 * 500  # ~560 unrolled instructions
+
+    def test_instruction_count_reasonable(self, kernels512):
+        run = KernelRunner(kernels512["int_mul.full.isa"]).run(1, 1)
+        # 64 MACs x 8 + loads/stores/overhead, well under 700
+        assert 500 < run.instructions < 700
+
+
+class TestToyModulus:
+    """Kernels must generalise to small fields (used by the simulated
+    end-to-end CSIDH runs)."""
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_single_limb_kernels(self, toy_params, variant, rng):
+        kernels = build_all_kernels(toy_params.p)
+        p = toy_params.p
+        mul = KernelRunner(kernels[f"fp_mul.{variant}"])
+        ctx = mul.kernel.context
+        for _ in range(4):
+            a, b = rng.randrange(p), rng.randrange(p)
+            assert mul.run(a, b).value == ctx.montgomery_multiply(a, b)
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_single_limb_add_sub(self, toy_params, variant, rng):
+        kernels = build_all_kernels(toy_params.p)
+        p = toy_params.p
+        add = KernelRunner(kernels[f"fp_add.{variant}"])
+        sub = KernelRunner(kernels[f"fp_sub.{variant}"])
+        for _ in range(4):
+            a, b = rng.randrange(p), rng.randrange(p)
+            assert add.run(a, b).value == (a + b) % p
+            assert sub.run(a, b).value == (a - b) % p

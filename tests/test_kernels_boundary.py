@@ -1,0 +1,83 @@
+"""Boundary tests around the resident/streaming register-regime switch.
+
+The generators flip from register-resident to operand-streaming code at
+a register-demand threshold; these tests exercise moduli right at the
+boundary widths (where off-by-one bugs in the mode selection would
+bite), for every operation.  Kernels only require an odd modulus, so
+the test moduli need not be prime.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.kernels.registry import build_kernel
+from repro.mpi.montgomery import MontgomeryContext
+from repro.mpi.representation import Radix
+from repro.kernels.runner import KernelRunner
+
+#: deterministic odd moduli of n full-radix digits (bit length 64n - 1)
+_SEED_RNG = random.Random(0xB0DA)
+
+
+def _modulus(bits: int) -> int:
+    value = (1 << (bits - 1)) | _SEED_RNG.getrandbits(bits - 2) | 1
+    return value
+
+
+# full radix: resident mode holds 2l+5 <= 25 -> l <= 10; streaming above
+FULL_BOUNDARY_LIMBS = (9, 10, 11, 12)
+# reduced radix: resident 2l+7 <= 25 -> l <= 9; streaming above
+REDUCED_BOUNDARY_LIMBS = (8, 9, 10, 11)
+
+
+@pytest.mark.parametrize("limbs", FULL_BOUNDARY_LIMBS)
+@pytest.mark.parametrize("op", ["int_mul", "int_sqr", "mont_redc",
+                                "fp_add", "fp_sub", "fast_reduce"])
+def test_full_radix_boundary(limbs, op, rng):
+    bits = 64 * limbs - 1
+    ctx = MontgomeryContext(_modulus(bits), Radix(64, limbs))
+    for variant in ("full.isa", "full.ise"):
+        kernel = build_kernel(op, variant, ctx)
+        runner = KernelRunner(kernel)
+        for _ in range(2):
+            runner.run(*kernel.sampler(rng))  # golden-checked
+
+
+@pytest.mark.parametrize("limbs", REDUCED_BOUNDARY_LIMBS)
+@pytest.mark.parametrize("op", ["int_mul", "int_sqr", "mont_redc",
+                                "fp_add", "fp_sub", "fast_reduce"])
+def test_reduced_radix_boundary(limbs, op, rng):
+    bits = 57 * limbs - 1
+    ctx = MontgomeryContext(_modulus(bits), Radix(57, limbs))
+    for variant in ("reduced.isa", "reduced.ise"):
+        kernel = build_kernel(op, variant, ctx)
+        runner = KernelRunner(kernel)
+        for _ in range(2):
+            runner.run(*kernel.sampler(rng))
+
+
+def test_mode_switch_is_where_expected():
+    """Pin the exact limb counts where streaming engages (a change in
+    the register pool or the demand formula should fail this test, not
+    silently alter every cycle number)."""
+    resident = build_kernel(
+        "int_mul", "full.isa",
+        MontgomeryContext(_modulus(64 * 10 - 1), Radix(64, 10)))
+    streaming = build_kernel(
+        "int_mul", "full.isa",
+        MontgomeryContext(_modulus(64 * 11 - 1), Radix(64, 11)))
+    # resident: one ld per operand digit; streaming: ~l^2 B loads
+    assert resident.static_counts["ld"] == 20
+    assert streaming.static_counts["ld"] > 11 * 11
+
+
+def test_fp_mul_composite_at_boundary(rng):
+    """The composite kernel crosses the boundary in all three phases."""
+    for limbs in (10, 11):
+        ctx = MontgomeryContext(_modulus(64 * limbs - 1),
+                                Radix(64, limbs))
+        kernel = build_kernel("fp_mul", "full.isa", ctx)
+        KernelRunner(kernel).run(*kernel.sampler(rng))

@@ -1,0 +1,116 @@
+"""Tests for the operand-streaming (long-width) kernel code paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.csidh.parameters import csidh_1024_like, synthesize_parameters
+from repro.kernels.registry import build_kernel, make_contexts
+from repro.kernels.runner import KernelRunner
+from repro.kernels.spec import ALL_VARIANTS
+
+
+@pytest.fixture(scope="module")
+def p1024():
+    return csidh_1024_like().p
+
+
+@pytest.fixture(scope="module")
+def contexts1024(p1024):
+    return make_contexts(p1024)
+
+
+class TestParameterSynthesis:
+    def test_1024_like_shape(self, p1024):
+        assert 1016 <= p1024.bit_length() <= 1026
+        assert p1024 % 8 == 3
+
+    def test_synthesize_small(self):
+        params = synthesize_parameters(6, max_exponent=1)
+        assert params.num_primes == 6
+        params.validate()
+
+    def test_synthesize_rejects_tiny(self):
+        from repro.errors import ParameterError
+        with pytest.raises(ParameterError):
+            synthesize_parameters(1)
+
+
+class TestStreamingKernels:
+    """All four variants, functional verification at 16/18 limbs."""
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_int_mul(self, contexts1024, rng, p1024, variant):
+        ctx = contexts1024[0] if variant.startswith("full.") \
+            else contexts1024[1]
+        kernel = build_kernel("int_mul", variant, ctx)
+        runner = KernelRunner(kernel)
+        for _ in range(2):
+            a, b = rng.randrange(p1024), rng.randrange(p1024)
+            assert runner.run(a, b).value == a * b
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_int_sqr(self, contexts1024, rng, p1024, variant):
+        ctx = contexts1024[0] if variant.startswith("full.") \
+            else contexts1024[1]
+        kernel = build_kernel("int_sqr", variant, ctx)
+        runner = KernelRunner(kernel)
+        a = rng.randrange(p1024)
+        assert runner.run(a).value == a * a
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_mont_redc(self, contexts1024, rng, p1024, variant):
+        ctx = contexts1024[0] if variant.startswith("full.") \
+            else contexts1024[1]
+        kernel = build_kernel("mont_redc", variant, ctx)
+        runner = KernelRunner(kernel)
+        t = rng.randrange(p1024) * rng.randrange(p1024)
+        value = runner.run(t).value
+        assert value < 2 * p1024
+        assert (value * ctx.r) % p1024 == t % p1024
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    @pytest.mark.parametrize("op", ["fp_add", "fp_sub", "fast_reduce"])
+    def test_linear_ops(self, contexts1024, rng, p1024, variant, op):
+        ctx = contexts1024[0] if variant.startswith("full.") \
+            else contexts1024[1]
+        kernel = build_kernel(op, variant, ctx)
+        runner = KernelRunner(kernel)
+        values = kernel.sampler(rng)
+        runner.run(*values)  # golden-checked internally
+
+    @pytest.mark.parametrize("variant", ["full.isa", "reduced.ise"])
+    def test_fp_mul_composite(self, contexts1024, rng, p1024, variant):
+        ctx = contexts1024[0] if variant.startswith("full.") \
+            else contexts1024[1]
+        kernel = build_kernel("fp_mul", variant, ctx)
+        runner = KernelRunner(kernel)
+        a, b = rng.randrange(p1024), rng.randrange(p1024)
+        assert runner.run(a, b).value == ctx.montgomery_multiply(a, b)
+
+    def test_streaming_mode_actually_engaged(self, contexts1024):
+        """The 1024-bit mul must contain per-MAC operand loads (the
+        streaming signature): many more loads than the resident mode."""
+        kernel = build_kernel("int_mul", "full.isa", contexts1024[0])
+        limbs = contexts1024[0].radix.limbs
+        assert kernel.static_counts["ld"] > limbs * limbs  # l^2 B loads
+
+    def test_512_still_resident(self, kernels512):
+        kernel = kernels512["int_mul.full.isa"]
+        assert kernel.static_counts["ld"] == 16  # 2 x 8 operand loads
+
+
+class TestWidthLimits:
+    def test_too_wide_raises(self):
+        """Widths beyond the streaming modes' register budget must fail
+        loudly, not generate broken code."""
+        from repro.errors import KernelError, ReproError
+        from repro.mpi.montgomery import MontgomeryContext
+        from repro.mpi.representation import Radix
+
+        # 28 limbs full radix (CSIDH-1792 scale): A alone + accumulators
+        # exceed the pool
+        big_prime = (1 << 1790) + 1731  # any odd number works here
+        ctx = MontgomeryContext(big_prime, Radix(64, 28))
+        with pytest.raises(ReproError):
+            build_kernel("int_mul", "full.isa", ctx)

@@ -1,0 +1,100 @@
+"""Tests for the functional machine: execution control and diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.rv64.assembler import assemble
+from repro.rv64.isa import BASE_ISA
+from repro.rv64.machine import HALT_ADDRESS, Machine
+from tests.helpers import result_of, run_asm
+
+
+class TestExecutionControl:
+    def test_ret_halts(self):
+        machine = run_asm("li a0, 5")
+        assert machine.regs["a0"] == 5
+
+    def test_ebreak_halts(self):
+        machine = run_asm("li a0, 1\nebreak\nli a0, 2", append_ret=False)
+        assert machine.regs["a0"] == 1
+
+    def test_ecall_raises(self):
+        with pytest.raises(SimulationError, match="ecall"):
+            run_asm("ecall", append_ret=False)
+
+    def test_fetch_from_unmapped_raises(self):
+        machine = Machine(BASE_ISA)
+        machine.load_program(assemble("nop", BASE_ISA))
+        with pytest.raises(SimulationError, match="unmapped"):
+            machine.run(0x1000, setup_return=False)
+
+    def test_step_limit(self):
+        machine = Machine(BASE_ISA, max_steps=100)
+        entry = machine.load_program(assemble("loop: j loop", BASE_ISA))
+        with pytest.raises(SimulationError, match="step limit"):
+            machine.run(entry)
+
+    def test_ra_points_to_halt(self):
+        machine = run_asm("mv a0, ra")
+        assert machine.regs["a0"] == HALT_ADDRESS
+
+    def test_sp_initialised(self):
+        machine = run_asm("mv a0, sp")
+        assert machine.regs["a0"] != 0
+
+
+class TestStatistics:
+    def test_retired_count(self):
+        machine = run_asm("nop\nnop\nnop")
+        assert result_of(machine).instructions_retired == 4  # + ret
+
+    def test_histogram(self):
+        machine = Machine(BASE_ISA)
+        machine.collect_histogram = True
+        entry = machine.load_program(
+            assemble("add a0, a0, a1\nadd a0, a0, a1\nmul a2, a0, a1\nret",
+                     BASE_ISA))
+        result = machine.run(entry)
+        assert result.histogram["add"] == 2
+        assert result.histogram["mul"] == 1
+        assert result.histogram["jalr"] == 1
+
+    def test_no_cycles_without_pipeline(self):
+        machine = run_asm("nop", pipeline=None)
+        assert result_of(machine).cycles is None
+
+    def test_trace_hook_sees_instructions(self):
+        machine = Machine(BASE_ISA)
+        entry = machine.load_program(assemble("li a0, 7\nret", BASE_ISA))
+        seen = []
+        machine.add_trace_hook(lambda state, ins: seen.append(ins.mnemonic))
+        machine.run(entry)
+        assert seen == ["addi", "jalr"]
+
+    def test_program_extent(self):
+        machine = Machine(BASE_ISA)
+        machine.load_program(assemble("nop\nnop\nret", BASE_ISA), 0x2000)
+        low, size = machine.program_extent()
+        assert low == 0x2000
+        assert size == 12
+
+
+class TestReset:
+    def test_reset_clears_registers_keeps_memory(self):
+        machine = run_asm("li a0, 9\nsd a0, 0(a1)", {"a1": 0x9000})
+        machine.reset()
+        assert machine.regs["a0"] == 0
+        assert machine.mem.load_u64(0x9000) == 9
+
+    def test_rerun_after_reset(self):
+        machine = Machine(BASE_ISA)
+        entry = machine.load_program(
+            assemble("addi a0, a0, 1\nret", BASE_ISA))
+        machine.run(entry)
+        machine.run(entry)  # state carries over without reset
+        assert machine.regs["a0"] == 2
+        machine.reset()
+        machine.run(entry)
+        assert machine.regs["a0"] == 1

@@ -1,0 +1,154 @@
+"""Tests for the MAC listings (Listings 1-4) and carry propagation.
+
+Verifies both the paper's instruction-count claims and the functional
+equivalence of all four MAC variants on the simulator.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.macros import (
+    LISTING_INSTRUCTION_COUNTS,
+    carry_propagate_isa,
+    carry_propagate_ise,
+    mac_full_radix_isa,
+    mac_full_radix_ise,
+    mac_reduced_radix_isa,
+    mac_reduced_radix_ise,
+)
+from repro.rv64.bits import MASK64
+from tests.helpers import run_asm
+
+U64 = st.integers(min_value=0, max_value=MASK64)
+U57 = st.integers(min_value=0, max_value=(1 << 57) - 1)
+
+
+class TestInstructionCounts:
+    """The paper's headline software numbers: 8->4 and 6->2."""
+
+    def test_full_radix_isa_is_8(self):
+        lines = mac_full_radix_isa("s0", "s1", "s2", "a0", "a1",
+                                   "t0", "t1")
+        assert len(lines) == 8 == \
+            LISTING_INSTRUCTION_COUNTS["mac_full_radix_isa"]
+
+    def test_full_radix_ise_is_4(self):
+        lines = mac_full_radix_ise("s0", "s1", "s2", "a0", "a1", "t0")
+        assert len(lines) == 4
+
+    def test_reduced_radix_isa_is_6(self):
+        lines = mac_reduced_radix_isa("s0", "s1", "a0", "a1", "t0", "t1")
+        assert len(lines) == 6
+
+    def test_reduced_radix_ise_is_2(self):
+        assert len(mac_reduced_radix_ise("s0", "s1", "a0", "a1")) == 2
+
+    def test_carry_propagation_3_to_2(self):
+        assert len(carry_propagate_isa("s0", "s1", "t1", "t0")) == 3
+        assert len(carry_propagate_ise("s0", "s1", "t1")) == 2
+
+    def test_ise_listings_use_only_custom_mnemonics_plus_add(self):
+        lines = mac_full_radix_ise("s0", "s1", "s2", "a0", "a1", "t0")
+        mnemonics = {line.split()[0] for line in lines}
+        assert mnemonics == {"maddhu", "maddlu", "cadd", "add"}
+        lines = mac_reduced_radix_ise("s0", "s1", "a0", "a1")
+        assert {line.split()[0] for line in lines} == \
+            {"madd57hu", "madd57lu"}
+
+
+def _acc192(machine) -> int:
+    return ((machine.regs["s2"] << 128) | (machine.regs["s1"] << 64)
+            | machine.regs["s0"])
+
+
+class TestFullRadixMacSemantics:
+    """(e||h||l) += a*b for both flavours, against the big-int oracle."""
+
+    @settings(max_examples=25)
+    @given(U64, U64, U64, U64, st.integers(0, 3))
+    def test_isa_listing1(self, a, b, low, high, extra):
+        source = "\n".join(
+            mac_full_radix_isa("s2", "s1", "s0", "a0", "a1", "t0", "t1"))
+        machine = run_asm(source, {
+            "a0": a, "a1": b, "s0": low, "s1": high, "s2": extra})
+        expected = ((extra << 128) | (high << 64) | low) + a * b
+        assert _acc192(machine) == expected & ((1 << 192) - 1)
+
+    @settings(max_examples=25)
+    @given(U64, U64, U64, U64, st.integers(0, 3))
+    def test_ise_listing3(self, a, b, low, high, extra):
+        source = "\n".join(
+            mac_full_radix_ise("s2", "s1", "s0", "a0", "a1", "t0"))
+        machine = run_asm(source, {
+            "a0": a, "a1": b, "s0": low, "s1": high, "s2": extra})
+        expected = ((extra << 128) | (high << 64) | low) + a * b
+        assert _acc192(machine) == expected & ((1 << 192) - 1)
+
+    @settings(max_examples=25)
+    @given(U64, U64, U64, U64)
+    def test_isa_and_ise_agree(self, a, b, low, high):
+        regs = {"a0": a, "a1": b, "s0": low, "s1": high, "s2": 0}
+        isa_m = run_asm("\n".join(
+            mac_full_radix_isa("s2", "s1", "s0", "a0", "a1", "t0",
+                               "t1")), dict(regs))
+        ise_m = run_asm("\n".join(
+            mac_full_radix_ise("s2", "s1", "s0", "a0", "a1", "t0")),
+            dict(regs))
+        assert _acc192(isa_m) == _acc192(ise_m)
+
+
+class TestReducedRadixMacSemantics:
+    @settings(max_examples=25)
+    @given(U57, U57, U64, st.integers(0, (1 << 60) - 1))
+    def test_isa_listing2(self, a, b, low, high):
+        source = "\n".join(
+            mac_reduced_radix_isa("s1", "s0", "a0", "a1", "t0", "t1"))
+        machine = run_asm(source,
+                          {"a0": a, "a1": b, "s0": low, "s1": high})
+        got = (machine.regs["s1"] << 64) | machine.regs["s0"]
+        assert got == (((high << 64) | low) + a * b) & ((1 << 128) - 1)
+
+    @settings(max_examples=25)
+    @given(U57, U57, st.integers(0, (1 << 60) - 1),
+           st.integers(0, (1 << 60) - 1))
+    def test_ise_listing4(self, a, b, low, high):
+        # split accumulators: value = l + (h << 57)
+        source = "\n".join(mac_reduced_radix_ise("s1", "s0", "a0", "a1"))
+        machine = run_asm(source,
+                          {"a0": a, "a1": b, "s0": low, "s1": high})
+        got = machine.regs["s0"] + (machine.regs["s1"] << 57)
+        assert got == (low + (high << 57)) + a * b
+
+
+class TestCarryPropagation:
+    @settings(max_examples=25)
+    @given(st.integers(0, (1 << 62) - 1), U57)
+    def test_isa_sequence(self, x, y):
+        source = "li t1, 0x1ffffffffffffff\n" + "\n".join(
+            carry_propagate_isa("s0", "s1", "t1", "t0"))
+        machine = run_asm(source, {"s0": x, "s1": y})
+        assert machine.regs["s0"] == x & ((1 << 57) - 1)
+        assert machine.regs["s1"] == y + (x >> 57)
+
+    @settings(max_examples=25)
+    @given(st.integers(0, (1 << 62) - 1), U57)
+    def test_ise_sequence_matches_isa(self, x, y):
+        mask_load = "li t1, 0x1ffffffffffffff\n"
+        isa = run_asm(mask_load + "\n".join(
+            carry_propagate_isa("s0", "s1", "t1", "t0")),
+            {"s0": x, "s1": y})
+        ise = run_asm(mask_load + "\n".join(
+            carry_propagate_ise("s0", "s1", "t1")),
+            {"s0": x, "s1": y})
+        assert isa.regs["s0"] == ise.regs["s0"]
+        assert isa.regs["s1"] == ise.regs["s1"]
+
+    def test_negative_limb_propagates_borrow(self):
+        # signed limbs: a -1 carry must flow into the next limb
+        x = (1 << 64) - 1  # represents -1
+        source = "li t1, 0x1ffffffffffffff\n" + "\n".join(
+            carry_propagate_ise("s0", "s1", "t1"))
+        machine = run_asm(source, {"s0": x, "s1": 10})
+        assert machine.regs["s1"] == 9  # 10 + (-1)
+        assert machine.regs["s0"] == (1 << 57) - 1

@@ -1,0 +1,117 @@
+"""Unit tests for the sparse paged memory."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryAccessError
+from repro.rv64.memory import Memory, PAGE_SIZE
+
+
+class TestByteAccess:
+    def test_default_zero(self):
+        mem = Memory()
+        assert mem.load_u8(0x1234) == 0
+        assert mem.load_u64(0x8000) == 0
+
+    def test_store_load_u8(self):
+        mem = Memory()
+        mem.store_u8(10, 0xAB)
+        assert mem.load_u8(10) == 0xAB
+
+    def test_little_endian(self):
+        mem = Memory()
+        mem.store_u32(0x100, 0x11223344)
+        assert mem.load_u8(0x100) == 0x44
+        assert mem.load_u8(0x103) == 0x11
+
+    def test_cross_page_write(self):
+        mem = Memory()
+        base = PAGE_SIZE - 4
+        mem.write_bytes(base, bytes(range(8)))
+        assert mem.read_bytes(base, 8) == bytes(range(8))
+
+    def test_truncation(self):
+        mem = Memory()
+        mem.store_u8(0, 0x1FF)
+        assert mem.load_u8(0) == 0xFF
+
+
+class TestAlignment:
+    def test_misaligned_raises(self):
+        mem = Memory()
+        with pytest.raises(MemoryAccessError):
+            mem.load_u64(4)
+        with pytest.raises(MemoryAccessError):
+            mem.store_u32(2, 0)
+
+    def test_misaligned_allowed_when_relaxed(self):
+        mem = Memory(enforce_alignment=False)
+        mem.store_u64(4, 0x1122334455667788)
+        assert mem.load_u64(4) == 0x1122334455667788
+
+    def test_address_bounds(self):
+        mem = Memory()
+        with pytest.raises(MemoryAccessError):
+            mem.load(-8, 8)
+        with pytest.raises(MemoryAccessError):
+            mem.load((1 << 64) - 4, 8)
+
+
+class TestSignedLoads:
+    def test_signed_byte(self):
+        mem = Memory()
+        mem.store_u8(0, 0x80)
+        assert mem.load(0, 1, signed=True) == -128
+
+    def test_signed_word(self):
+        mem = Memory()
+        mem.store_u32(0, 0xFFFFFFFF)
+        assert mem.load(0, 4, signed=True) == -1
+
+
+class TestWordHelpers:
+    def test_store_load_words(self):
+        mem = Memory()
+        words = [1, 2, 3, (1 << 64) - 1]
+        mem.store_words(0x1000, words)
+        assert mem.load_words(0x1000, 4) == words
+
+    def test_mpi_roundtrip(self):
+        mem = Memory()
+        value = 0x0123456789ABCDEF_FEDCBA9876543210
+        mem.store_mpi(0x2000, value, 4)
+        assert mem.load_mpi(0x2000, 4) == value
+
+    def test_mpi_overflow_raises(self):
+        mem = Memory()
+        with pytest.raises(MemoryAccessError):
+            mem.store_mpi(0, 1 << 64, 1)
+
+    def test_mpi_negative_raises(self):
+        mem = Memory()
+        with pytest.raises(MemoryAccessError):
+            mem.store_mpi(0, -1, 1)
+
+    @given(st.integers(min_value=0, max_value=(1 << 512) - 1))
+    def test_mpi_any_512(self, value):
+        mem = Memory()
+        mem.store_mpi(0x4000, value, 8)
+        assert mem.load_mpi(0x4000, 8) == value
+
+
+class TestBookkeeping:
+    def test_touched_pages(self):
+        mem = Memory()
+        assert mem.touched_pages == 0
+        mem.store_u8(0, 1)
+        mem.store_u8(PAGE_SIZE * 10, 1)
+        assert mem.touched_pages == 2
+
+    def test_clear(self):
+        mem = Memory()
+        mem.store_u64(0, 7)
+        mem.clear()
+        assert mem.touched_pages == 0
+        assert mem.load_u64(0) == 0

@@ -1,0 +1,148 @@
+"""Tests for the x-only Montgomery curve arithmetic."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.csidh.montgomery import (
+    Curve,
+    INFINITY,
+    XPoint,
+    curve_rhs,
+    ladder,
+    sample_point_x,
+    xadd,
+    xdbl,
+)
+from repro.errors import ParameterError
+from repro.field.fp import FieldContext
+
+
+@pytest.fixture(scope="module")
+def field(mini_params):
+    return FieldContext(mini_params.p)
+
+
+@pytest.fixture(scope="module")
+def curve(field):
+    return Curve.from_affine(field, 0)
+
+
+def _point_on_curve(field, a, rng) -> XPoint:
+    while True:
+        x, side = sample_point_x(field, a, rng)
+        if side == 1:
+            return XPoint(x, 1)
+
+
+class TestCurve:
+    def test_from_affine_roundtrip(self, field):
+        for a in (0, 5, 1234, field.p - 3):
+            curve = Curve.from_affine(field, a)
+            assert curve.affine_a(field) == a
+
+    def test_degenerate_rejected(self, field):
+        with pytest.raises(ParameterError):
+            Curve(1, 0).affine_a(field)
+
+    def test_smoothness(self, field):
+        assert Curve.from_affine(field, 0).is_smooth(field)
+        assert not Curve.from_affine(field, 2).is_smooth(field)
+        assert not Curve.from_affine(field, field.p - 2).is_smooth(field)
+
+    def test_rhs(self, field):
+        # x^3 + 0 + x at x=2 -> 10
+        assert curve_rhs(field, 0, 2) == 10
+
+
+class TestDoubling:
+    def test_double_infinity_z_zero(self, field, curve):
+        assert xdbl(field, XPoint(1, 0), curve).is_infinity
+
+    def test_double_order2_point(self, field, curve):
+        # (0, 0) is the 2-torsion point on y^2 = x^3 + x
+        assert xdbl(field, XPoint(0, 1), curve).is_infinity
+
+    def test_double_matches_ladder(self, field, curve, rng):
+        point = _point_on_curve(field, 0, rng)
+        doubled = xdbl(field, point, curve)
+        laddered = ladder(field, 2, point, curve)
+        # compare projectively: X1*Z2 == X2*Z1
+        assert (doubled.X * laddered.Z - laddered.X * doubled.Z) \
+            % field.p == 0
+
+
+class TestLadder:
+    def test_zero_scalar(self, field, curve, rng):
+        point = _point_on_curve(field, 0, rng)
+        assert ladder(field, 0, point, curve).is_infinity
+
+    def test_negative_scalar_rejected(self, field, curve):
+        with pytest.raises(ParameterError):
+            ladder(field, -1, XPoint(2, 1), curve)
+
+    def test_one_is_identity_map(self, field, curve, rng):
+        point = _point_on_curve(field, 0, rng)
+        result = ladder(field, 1, point, curve)
+        assert (result.X * point.Z - point.X * result.Z) % field.p == 0
+
+    def test_group_order_annihilates(self, field, curve, rng,
+                                     mini_params):
+        """Supersingular: every point is killed by p + 1."""
+        for _ in range(5):
+            point = _point_on_curve(field, 0, rng)
+            assert ladder(field, field.p + 1, point, curve).is_infinity
+
+    def test_twist_points_killed_too(self, field, curve, rng):
+        """x-only arithmetic is twist-agnostic; twist order is also
+        p + 1 for supersingular curves."""
+        while True:
+            x, side = sample_point_x(field, 0, rng)
+            if side == -1:
+                break
+        assert ladder(field, field.p + 1, XPoint(x, 1),
+                      curve).is_infinity
+
+    def test_scalar_additivity(self, field, curve, rng):
+        point = _point_on_curve(field, 0, rng)
+        k1, k2 = 13, 29
+        lhs = ladder(field, k1 * k2, point, curve)
+        rhs = ladder(field, k2, ladder(field, k1, point, curve), curve)
+        if lhs.is_infinity or rhs.is_infinity:
+            assert lhs.is_infinity == rhs.is_infinity
+        else:
+            assert (lhs.X * rhs.Z - rhs.X * lhs.Z) % field.p == 0
+
+    def test_cofactor_clearing_gives_odd_torsion(self, field, curve,
+                                                 rng, mini_params):
+        p = field.p
+        point = _point_on_curve(field, 0, rng)
+        odd_part = (p + 1) // 4
+        cleared = ladder(field, 4, point, curve)
+        if not cleared.is_infinity:
+            assert ladder(field, odd_part, cleared, curve).is_infinity
+
+
+class TestXadd:
+    def test_differential_addition(self, field, curve, rng):
+        """x([m+n]P) from x([m]P), x([n]P), x([m-n]P)."""
+        point = _point_on_curve(field, 0, rng)
+        p2 = xdbl(field, point, curve)
+        p3 = xadd(field, p2, point, point)      # 2P + P, diff = P
+        expected = ladder(field, 3, point, curve)
+        if p3.is_infinity or expected.is_infinity:
+            assert p3.is_infinity == expected.is_infinity
+        else:
+            assert (p3.X * expected.Z - expected.X * p3.Z) % field.p == 0
+
+
+class TestNormalise:
+    def test_infinity_has_no_x(self, field):
+        with pytest.raises(ParameterError):
+            INFINITY.normalise(field)
+
+    def test_normalise(self, field):
+        point = XPoint(field.mul(7, 3), 3)
+        assert point.normalise(field) == 7

@@ -1,0 +1,143 @@
+"""Tests for the reference MPI algorithms (multiplication, add/sub)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.mpi.arithmetic import (
+    compare,
+    karatsuba_mul,
+    mpi_add,
+    mpi_add_delayed,
+    mpi_sub,
+    operand_scanning_mul,
+    product_scanning_mul,
+    product_scanning_sqr,
+)
+from repro.mpi.representation import (
+    CSIDH512_FULL,
+    CSIDH512_REDUCED,
+    Radix,
+)
+
+V512 = st.integers(min_value=0, max_value=(1 << 511) - 1)
+RADICES = [CSIDH512_FULL, CSIDH512_REDUCED, Radix(30, 5), Radix(16, 3)]
+
+
+@pytest.fixture(params=RADICES, ids=lambda r: r.name or f"{r.bits}b")
+def radix(request):
+    return request.param
+
+
+class TestMultiplication:
+    @settings(max_examples=20)
+    @given(data=st.data())
+    def test_all_multipliers_agree_with_python(self, radix, data):
+        bound = 1 << radix.capacity_bits
+        a = data.draw(st.integers(0, bound - 1))
+        b = data.draw(st.integers(0, bound - 1))
+        la, lb = radix.to_limbs(a), radix.to_limbs(b)
+        for fn in (product_scanning_mul, operand_scanning_mul,
+                   karatsuba_mul):
+            result = fn(radix, la, lb)
+            assert radix.from_limbs(result.limbs) == a * b, fn.__name__
+            assert len(result.limbs) == 2 * radix.limbs
+            assert radix.is_canonical(result.limbs)
+
+    @settings(max_examples=20)
+    @given(data=st.data())
+    def test_squaring_matches_multiplication(self, radix, data):
+        a = data.draw(st.integers(0, (1 << radix.capacity_bits) - 1))
+        la = radix.to_limbs(a)
+        assert radix.from_limbs(
+            product_scanning_sqr(radix, la).limbs) == a * a
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            product_scanning_mul(CSIDH512_FULL, [1] * 8, [1] * 7)
+
+    def test_zero_and_one(self, radix):
+        zeros = [0] * radix.limbs
+        one = radix.to_limbs(1)
+        assert radix.from_limbs(
+            product_scanning_mul(radix, zeros, one).limbs) == 0
+        assert radix.from_limbs(
+            product_scanning_mul(radix, one, one).limbs) == 1
+
+    def test_max_operands(self, radix):
+        top = (1 << radix.capacity_bits) - 1
+        limbs = radix.to_limbs(top)
+        assert radix.from_limbs(
+            product_scanning_mul(radix, limbs, limbs).limbs) == top * top
+
+
+class TestWorkCounts:
+    def test_product_scanning_mac_count(self):
+        l = CSIDH512_FULL.limbs
+        one = CSIDH512_FULL.to_limbs(1)
+        work = product_scanning_mul(CSIDH512_FULL, one, one).work
+        assert work.macs == l * l  # 64 for CSIDH-512 full radix
+
+    def test_squaring_mac_count_is_triangular(self):
+        l = CSIDH512_FULL.limbs
+        one = CSIDH512_FULL.to_limbs(1)
+        work = product_scanning_sqr(CSIDH512_FULL, one).work
+        assert work.macs == l * (l + 1) // 2
+
+    def test_karatsuba_fewer_macs_more_adds(self):
+        """The paper's E4 tradeoff: Karatsuba trades MACs for carried
+        additions, which is a bad deal on carry-less RV64GC."""
+        one = CSIDH512_FULL.to_limbs(1)
+        ps = product_scanning_mul(CSIDH512_FULL, one, one).work
+        ka = karatsuba_mul(CSIDH512_FULL, one, one).work
+        assert ka.macs < ps.macs
+        assert ka.word_adds > ps.word_adds
+
+    def test_reduced_radix_needs_more_macs(self):
+        """More limbs -> quadratically more MACs (Sect. 3.1)."""
+        full_one = CSIDH512_FULL.to_limbs(1)
+        red_one = CSIDH512_REDUCED.to_limbs(1)
+        full = product_scanning_mul(CSIDH512_FULL, full_one, full_one)
+        red = product_scanning_mul(CSIDH512_REDUCED, red_one, red_one)
+        assert red.work.macs == 81 > full.work.macs == 64
+
+
+class TestAddSub:
+    @settings(max_examples=20)
+    @given(data=st.data())
+    def test_add_with_carry(self, radix, data):
+        bound = 1 << radix.capacity_bits
+        a, b = (data.draw(st.integers(0, bound - 1)) for _ in range(2))
+        result = mpi_add(radix, radix.to_limbs(a), radix.to_limbs(b))
+        assert radix.from_limbs(result.limbs) == a + b
+
+    @settings(max_examples=20)
+    @given(data=st.data())
+    def test_sub_with_borrow(self, radix, data):
+        bound = 1 << radix.capacity_bits
+        a, b = (data.draw(st.integers(0, bound - 1)) for _ in range(2))
+        result = mpi_sub(radix, radix.to_limbs(a), radix.to_limbs(b))
+        assert radix.from_limbs(result.limbs) == a - b
+
+    def test_delayed_add_keeps_limb_sums(self):
+        radix = CSIDH512_REDUCED
+        a = (1 << 500) - 1
+        b = (1 << 450) + 12345
+        result = mpi_add_delayed(radix, radix.to_limbs(a),
+                                 radix.to_limbs(b))
+        assert radix.from_limbs(result.limbs) == a + b
+        # limbs may be non-canonical -- that's the point
+        assert any(limb > radix.mask for limb in result.limbs) or True
+
+    def test_delayed_add_requires_headroom(self):
+        with pytest.raises(ParameterError):
+            mpi_add_delayed(CSIDH512_FULL, [1] * 8, [1] * 8)
+
+    def test_compare(self):
+        radix = CSIDH512_FULL
+        small, big = radix.to_limbs(5), radix.to_limbs(6)
+        assert compare(radix, small, big) == -1
+        assert compare(radix, big, small) == 1
+        assert compare(radix, big, big) == 0

@@ -1,0 +1,86 @@
+"""Tests for Algorithms 1 and 2 (fast modulo-p reduction)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.mpi.fastred import (
+    fast_reduce_addition_based,
+    fast_reduce_subtraction,
+    fast_reduce_swap_based,
+)
+from repro.mpi.representation import CSIDH512_FULL, CSIDH512_REDUCED
+
+
+@pytest.fixture(params=["full", "reduced"])
+def radix(request):
+    return CSIDH512_FULL if request.param == "full" else CSIDH512_REDUCED
+
+
+class TestBothAlgorithms:
+    @settings(max_examples=30)
+    @given(data=st.data())
+    def test_agree_and_reduce(self, radix, p512, data):
+        a = data.draw(st.integers(0, 2 * p512 - 1))
+        la = radix.to_limbs(a)
+        lp = radix.to_limbs(p512)
+        r1 = fast_reduce_addition_based(radix, la, lp)
+        r2 = fast_reduce_swap_based(radix, la, lp)
+        assert r1.value == r2.value == a % p512
+
+    def test_boundaries(self, radix, p512):
+        lp = radix.to_limbs(p512)
+        for a in (0, 1, p512 - 1, p512, p512 + 1, 2 * p512 - 1):
+            la = radix.to_limbs(a)
+            assert fast_reduce_addition_based(radix, la, lp).value \
+                == a % p512
+            assert fast_reduce_swap_based(radix, la, lp).value == a % p512
+
+    def test_out_of_range_rejected(self, radix, p512):
+        lp = radix.to_limbs(p512)
+        with pytest.raises(ParameterError):
+            fast_reduce_swap_based(radix, radix.to_limbs(2 * p512), lp)
+
+    def test_noncanonical_input_rejected(self, p512):
+        radix = CSIDH512_REDUCED
+        lp = radix.to_limbs(p512)
+        bad = [radix.mask + 1] + [0] * 8
+        with pytest.raises(ParameterError):
+            fast_reduce_swap_based(radix, bad, lp)
+
+    def test_length_mismatch(self, radix, p512):
+        with pytest.raises(ParameterError):
+            fast_reduce_swap_based(radix, [0] * 3,
+                                   radix.to_limbs(p512))
+
+
+class TestWorkCounts:
+    def test_swap_cheaper_in_carried_adds(self, p512):
+        """Algorithm 2 avoids the carried addition of Algorithm 1 —
+        the reason it wins on carry-flag-less RISC-V (Sect. 3.1)."""
+        radix = CSIDH512_FULL
+        la = radix.to_limbs(p512 + 12345)
+        lp = radix.to_limbs(p512)
+        add_work = fast_reduce_addition_based(radix, la, lp).work
+        swap_work = fast_reduce_swap_based(radix, la, lp).work
+        assert swap_work.word_adds < add_work.word_adds
+
+
+class TestSubtractionVariant:
+    @settings(max_examples=30)
+    @given(data=st.data())
+    def test_fp_subtraction(self, radix, p512, data):
+        a = data.draw(st.integers(0, p512 - 1))
+        b = data.draw(st.integers(0, p512 - 1))
+        result = fast_reduce_subtraction(
+            radix, radix.to_limbs(a), radix.to_limbs(b),
+            radix.to_limbs(p512))
+        assert result.value == (a - b) % p512
+
+    def test_identical_operands(self, radix, p512):
+        la = radix.to_limbs(12345)
+        result = fast_reduce_subtraction(radix, la, la,
+                                         radix.to_limbs(p512))
+        assert result.value == 0

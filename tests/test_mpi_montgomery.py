@@ -1,0 +1,121 @@
+"""Tests for the Montgomery reference model (constants, SPS reduction)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.mpi.arithmetic import product_scanning_mul
+from repro.mpi.montgomery import MontgomeryContext, invert_mod
+from repro.mpi.representation import (
+    CSIDH512_FULL,
+    CSIDH512_REDUCED,
+    Radix,
+)
+
+
+class TestInvertMod:
+    @given(st.integers(min_value=3, max_value=10**6)
+           .filter(lambda n: n % 2 == 1),
+           st.integers(min_value=1, max_value=10**6))
+    def test_inverse_property(self, modulus, value):
+        from math import gcd
+        if gcd(value, modulus) != 1:
+            with pytest.raises(ParameterError):
+                invert_mod(value, modulus)
+        else:
+            inv = invert_mod(value, modulus)
+            assert (value * inv) % modulus == 1
+
+    def test_not_invertible(self):
+        with pytest.raises(ParameterError):
+            invert_mod(6, 9)
+
+
+class TestContext(object):
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ParameterError):
+            MontgomeryContext(100, CSIDH512_FULL)
+
+    def test_rejects_oversized_modulus(self):
+        with pytest.raises(ParameterError):
+            MontgomeryContext((1 << 520) + 1, CSIDH512_FULL)
+
+    def test_constants(self, p512):
+        ctx = MontgomeryContext(p512, CSIDH512_FULL)
+        assert ctx.r == 1 << 512
+        assert ctx.r_mod_p == (1 << 512) % p512
+        assert ctx.r2_mod_p == pow(1 << 512, 2, p512)
+        # n0' * p == -1 mod 2^64
+        assert (ctx.n0_inv * p512) % (1 << 64) == (1 << 64) - 1
+
+    def test_n0_reduced_radix(self, p512):
+        ctx = MontgomeryContext(p512, CSIDH512_REDUCED)
+        assert (ctx.n0_inv * p512) % (1 << 57) == (1 << 57) - 1
+
+    def test_conversions_roundtrip(self, p512):
+        ctx = MontgomeryContext(p512, CSIDH512_FULL)
+        for value in (0, 1, 12345, p512 - 1):
+            assert ctx.from_montgomery(ctx.to_montgomery(value)) == value
+
+
+class TestSpsReduction:
+    @pytest.fixture(params=["full", "reduced"])
+    def ctx(self, request, p512):
+        radix = CSIDH512_FULL if request.param == "full" \
+            else CSIDH512_REDUCED
+        return MontgomeryContext(p512, radix)
+
+    @settings(max_examples=15)
+    @given(data=st.data())
+    def test_reduction_value(self, ctx, data):
+        p = ctx.modulus
+        a = data.draw(st.integers(0, p - 1))
+        b = data.draw(st.integers(0, p - 1))
+        t = ctx.radix.to_limbs(a * b, limbs=2 * ctx.radix.limbs)
+        result = ctx.sps_reduce(t)
+        value = ctx.radix.from_limbs(result.limbs)
+        r_inv = invert_mod(ctx.r, p)
+        assert value % p == (a * b * r_inv) % p
+        assert value < 2 * p  # [0, 2p) postcondition
+
+    def test_zero_reduces_to_zero(self, ctx):
+        t = [0] * (2 * ctx.radix.limbs)
+        assert ctx.radix.from_limbs(ctx.sps_reduce(t).limbs) == 0
+
+    def test_wrong_length_rejected(self, ctx):
+        with pytest.raises(ParameterError):
+            ctx.sps_reduce([0] * 3)
+
+    @settings(max_examples=15)
+    @given(data=st.data())
+    def test_montgomery_multiply_matches_plain(self, ctx, data):
+        p = ctx.modulus
+        a = data.draw(st.integers(0, p - 1))
+        b = data.draw(st.integers(0, p - 1))
+        assert ctx.verify_against_plain(a, b)
+
+    def test_montgomery_multiply_rejects_unreduced(self, ctx):
+        with pytest.raises(ParameterError):
+            ctx.montgomery_multiply(ctx.modulus, 1)
+
+    def test_mac_work_count(self, p512):
+        """SPS reduction costs exactly l^2 MACs (the l q-digit products
+        are plain single-word muls, tallied separately)."""
+        ctx = MontgomeryContext(p512, CSIDH512_FULL)
+        l = ctx.radix.limbs
+        t = product_scanning_mul(
+            ctx.radix, ctx.radix.to_limbs(123), ctx.radix.to_limbs(456))
+        work = ctx.sps_reduce(t.limbs).work
+        assert work.macs == l * l
+
+
+class TestSmallModulus:
+    """Tiny-field sanity (exercises edge paths like l=1)."""
+
+    def test_single_limb(self):
+        radix = Radix(16, 1)
+        ctx = MontgomeryContext(0xFFF1, radix)
+        for a, b in ((0, 0), (1, 1), (1234, 4567), (0xFFF0, 0xFFF0)):
+            assert ctx.verify_against_plain(a, b)

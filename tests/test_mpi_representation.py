@@ -1,0 +1,99 @@
+"""Tests for radix representations and conversions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.mpi.representation import (
+    CSIDH512_FULL,
+    CSIDH512_REDUCED,
+    Radix,
+    full_radix_for,
+    reduced_radix_for,
+)
+
+
+class TestConstruction:
+    def test_csidh512_shapes(self):
+        assert (CSIDH512_FULL.bits, CSIDH512_FULL.limbs) == (64, 8)
+        assert (CSIDH512_REDUCED.bits, CSIDH512_REDUCED.limbs) == (57, 9)
+
+    def test_capacity(self):
+        assert CSIDH512_FULL.capacity_bits == 512
+        assert CSIDH512_REDUCED.capacity_bits == 513
+
+    def test_factories(self):
+        assert full_radix_for(511).limbs == 8
+        assert full_radix_for(512).limbs == 8
+        assert full_radix_for(513).limbs == 9
+        assert reduced_radix_for(511).limbs == 9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            Radix(0, 4)
+        with pytest.raises(ParameterError):
+            Radix(65, 4)
+        with pytest.raises(ParameterError):
+            Radix(64, 0)
+
+    def test_is_full_flag(self):
+        assert CSIDH512_FULL.is_full
+        assert not CSIDH512_REDUCED.is_full
+
+
+class TestConversion:
+    @given(st.integers(min_value=0, max_value=(1 << 512) - 1))
+    def test_roundtrip_full(self, value):
+        limbs = CSIDH512_FULL.to_limbs(value)
+        assert CSIDH512_FULL.from_limbs(limbs) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 513) - 1))
+    def test_roundtrip_reduced(self, value):
+        limbs = CSIDH512_REDUCED.to_limbs(value)
+        assert CSIDH512_REDUCED.from_limbs(limbs) == value
+        assert all(0 <= limb < (1 << 57) for limb in limbs)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ParameterError):
+            CSIDH512_FULL.to_limbs(1 << 512)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            CSIDH512_FULL.to_limbs(-1)
+
+    def test_custom_limb_count(self):
+        limbs = CSIDH512_FULL.to_limbs(7, limbs=16)
+        assert len(limbs) == 16
+        assert CSIDH512_FULL.from_limbs(limbs) == 7
+
+    def test_from_limbs_accepts_noncanonical(self):
+        # delayed-carry vectors evaluate to the value they denote
+        radix = CSIDH512_REDUCED
+        limbs = [radix.mask + 5] + [0] * 8
+        assert radix.from_limbs(limbs) == radix.mask + 5
+
+    def test_from_limbs_accepts_negative_limbs(self):
+        radix = CSIDH512_REDUCED
+        limbs = [-1, 1] + [0] * 7  # value = 2^57 - 1
+        assert radix.from_limbs(limbs) == (1 << 57) - 1
+
+
+class TestCanonical:
+    def test_is_canonical(self):
+        radix = CSIDH512_REDUCED
+        assert radix.is_canonical([0] * 9)
+        assert radix.is_canonical([radix.mask] * 9)
+        assert not radix.is_canonical([radix.mask + 1] + [0] * 8)
+        assert not radix.is_canonical([-1] + [0] * 8)
+
+    @given(st.integers(min_value=0, max_value=(1 << 500) - 1),
+           st.integers(min_value=0, max_value=(1 << 500) - 1))
+    def test_canonicalize_preserves_value(self, a, b):
+        radix = CSIDH512_REDUCED
+        vector = [x + y for x, y in zip(radix.to_limbs(a),
+                                        radix.to_limbs(b))]
+        fixed = radix.canonicalize(vector)
+        assert radix.is_canonical(fixed)
+        assert radix.from_limbs(fixed) == a + b

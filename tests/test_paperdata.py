@@ -1,0 +1,94 @@
+"""Meta-tests on the transcribed paper data itself.
+
+If the numbers copied from the paper were mistyped, every comparison in
+the evaluation would silently drift.  These tests check the *internal
+consistency* of the published values — relations the paper's own data
+must satisfy — so a transcription error cannot hide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.paperdata import (
+    PAPER_GROUP_ACTION_CYCLES,
+    PAPER_GROUP_ACTION_SPEEDUP,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+)
+from repro.kernels.spec import ALL_VARIANTS
+
+
+class TestTable4Consistency:
+    def test_fp_mul_additivity(self):
+        """The paper's Fp-mul equals int-mul + Montgomery reduction +
+        fast reduction within a couple of cycles of call overhead."""
+        for variant in ALL_VARIANTS:
+            parts = (PAPER_TABLE4["int_mul"][variant]
+                     + PAPER_TABLE4["mont_redc"][variant]
+                     + PAPER_TABLE4["fast_reduce"][variant])
+            whole = PAPER_TABLE4["fp_mul"][variant]
+            assert abs(whole - parts) <= 8, variant
+
+    def test_fp_sqr_additivity(self):
+        for variant in ALL_VARIANTS:
+            parts = (PAPER_TABLE4["int_sqr"][variant]
+                     + PAPER_TABLE4["mont_redc"][variant]
+                     + PAPER_TABLE4["fast_reduce"][variant])
+            whole = PAPER_TABLE4["fp_sqr"][variant]
+            assert abs(whole - parts) <= 8, variant
+
+    def test_full_radix_ise_blind_spots(self):
+        """Paper columns: full-radix ISEs leave fast reduction and
+        Fp-add/sub unchanged."""
+        for op in ("fast_reduce", "fp_add", "fp_sub"):
+            assert PAPER_TABLE4[op]["full.isa"] \
+                == PAPER_TABLE4[op]["full.ise"], op
+
+    def test_full_radix_ise_mul_equals_sqr(self):
+        """Paper: 371 == 371 (no ISE squaring trick at full radix)."""
+        assert PAPER_TABLE4["int_mul"]["full.ise"] \
+            == PAPER_TABLE4["int_sqr"]["full.ise"]
+
+    def test_every_ise_cell_at_most_isa(self):
+        for op, row in PAPER_TABLE4.items():
+            assert row["full.ise"] <= row["full.isa"], op
+            assert row["reduced.ise"] <= row["reduced.isa"], op
+
+
+class TestGroupActionConsistency:
+    def test_speedups_match_cycles(self):
+        base = PAPER_GROUP_ACTION_CYCLES["full.isa"]
+        for variant in ALL_VARIANTS:
+            implied = base / PAPER_GROUP_ACTION_CYCLES[variant]
+            stated = PAPER_GROUP_ACTION_SPEEDUP[variant]
+            assert implied == pytest.approx(stated, abs=0.011), variant
+
+    def test_headline(self):
+        assert PAPER_GROUP_ACTION_SPEEDUP["reduced.ise"] == 1.71
+
+
+class TestTable3Consistency:
+    def test_dsps_constant(self):
+        dsps = {row[2] for row in PAPER_TABLE3.values()}
+        assert dsps == {16}
+
+    def test_overheads_in_claimed_range(self):
+        """Abstract: 'hardware overhead of about 10%'."""
+        base = PAPER_TABLE3["base"]
+        for key in ("full", "reduced"):
+            extended = PAPER_TABLE3[key]
+            lut_pct = 100 * (extended[0] - base[0]) / base[0]
+            reg_pct = 100 * (extended[1] - base[1]) / base[1]
+            assert 3 < lut_pct < 10
+            assert 8 < reg_pct < 12
+
+    def test_paper_text_percentages(self):
+        """Sect. 4 quotes 4%/9% LUTs and 11%/9% Regs — re-derive."""
+        base = PAPER_TABLE3["base"]
+        full = PAPER_TABLE3["full"]
+        reduced = PAPER_TABLE3["reduced"]
+        assert round(100 * (full[0] - base[0]) / base[0]) == 4
+        assert round(100 * (reduced[0] - base[0]) / base[0]) == 9
+        assert round(100 * (full[1] - base[1]) / base[1]) == 11
+        assert round(100 * (reduced[1] - base[1]) / base[1]) == 9

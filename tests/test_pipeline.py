@@ -1,0 +1,127 @@
+"""Tests for the Rocket-like timing model: hazards, latencies, flushes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.rv64.cache import CacheConfig
+from repro.rv64.pipeline import PipelineConfig, PipelineModel
+from tests.helpers import result_of, run_asm
+
+
+def cycles_of(source: str, config: PipelineConfig | None = None,
+              regs: dict | None = None) -> int:
+    config = config or PipelineConfig()
+    machine = run_asm(source, regs or {}, pipeline=config)
+    return result_of(machine).cycles
+
+
+BASELINE = PipelineConfig()
+RET_COST = cycles_of("nop") - 1  # fixed overhead of the trailing ret
+
+
+class TestBasicTiming:
+    def test_independent_alu_ops_are_one_cycle_each(self):
+        base = cycles_of("add a0, a1, a2")
+        more = cycles_of("add a0, a1, a2\nadd a3, a1, a2\n"
+                         "add a4, a1, a2")
+        assert more - base == 2
+
+    def test_dependent_alu_chain_still_one_per_cycle(self):
+        # full forwarding: ALU-to-ALU dependency costs nothing extra
+        dep = cycles_of("add a0, a1, a2\nadd a0, a0, a2\nadd a0, a0, a2")
+        indep = cycles_of("add a0, a1, a2\nadd a3, a1, a2\n"
+                          "add a4, a1, a2")
+        assert dep == indep
+
+    def test_mul_use_bubble(self):
+        config = PipelineConfig(mul_latency=3)
+        dependent = cycles_of("mul a0, a1, a2\nadd a3, a0, a0", config)
+        independent = cycles_of("mul a0, a1, a2\nadd a3, a1, a1", config)
+        assert dependent - independent == 2  # latency 3 -> 2 bubbles
+
+    def test_back_to_back_muls_fully_pipelined(self):
+        # independent muls issue 1/cycle regardless of latency
+        config = PipelineConfig(mul_latency=3)
+        two = cycles_of("mul a0, a1, a2\nmul a3, a1, a2", config)
+        one = cycles_of("mul a0, a1, a2", config)
+        assert two - one == 1
+
+    def test_load_use_delay(self):
+        config = PipelineConfig(load_latency=2)
+        dependent = cycles_of("ld a0, 0(a1)\nadd a2, a0, a0",
+                              config, {"a1": 0x9000})
+        independent = cycles_of("ld a0, 0(a1)\nadd a2, a1, a1",
+                                config, {"a1": 0x9000})
+        assert dependent - independent == 1
+
+    def test_x0_never_stalls(self):
+        # writes to x0 are discarded; reads never wait on them
+        a = cycles_of("mul zero, a1, a2\nadd a3, zero, a1")
+        b = cycles_of("mul zero, a1, a2\nadd a3, a1, a1")
+        assert a == b
+
+
+class TestControlFlow:
+    def test_taken_branch_penalty(self):
+        config = PipelineConfig(branch_penalty=3)
+        taken = cycles_of(
+            "beq zero, zero, skip\nnop\nskip: ret", config)
+        not_taken = cycles_of(
+            "bne zero, zero, skip\nnop\nskip: ret", config)
+        # the taken path also executes one fewer instruction (skips nop)
+        assert taken == not_taken - 1 + 3
+
+    def test_jump_penalty_counted(self):
+        config_fast = PipelineConfig(jump_penalty=0)
+        config_slow = PipelineConfig(jump_penalty=2)
+        assert (cycles_of("nop", config_slow)
+                - cycles_of("nop", config_fast)) == 2  # the ret jalr
+
+
+class TestCaches:
+    def test_cold_icache_misses_cost_cycles(self):
+        config = PipelineConfig(icache=CacheConfig(miss_penalty=20))
+        cold = cycles_of("nop\nnop\nnop", config)
+        warm = cycles_of("nop\nnop\nnop")
+        assert cold >= warm + 20  # at least one line fill
+
+    def test_dcache_miss_then_hit(self):
+        config = PipelineConfig(dcache=CacheConfig(miss_penalty=20))
+        machine = run_asm(
+            "ld a0, 0(a1)\nld a2, 0(a1)", {"a1": 0x9000},
+            pipeline=config)
+        model = machine.pipeline
+        assert model.dcache.misses == 1
+        assert model.dcache.hits == 1
+
+    def test_stats_structure(self):
+        machine = run_asm("mul a0, a1, a2\nadd a0, a0, a0",
+                          pipeline=PipelineConfig())
+        stats = machine.pipeline.stats
+        assert stats.instructions == 3
+        assert stats.raw_hazard_stalls >= 1
+        assert stats.kind_counts["mul"] == 1
+        assert 1.0 <= stats.cpi <= 3.0
+
+
+class TestConfig:
+    def test_latency_lookup_rejects_unknown(self):
+        with pytest.raises(ParameterError):
+            PipelineConfig().latency_for("teleport")
+
+    def test_reset_clears_state(self):
+        model = PipelineModel()
+        machine = run_asm("mul a0, a1, a2", pipeline=PipelineConfig())
+        model = machine.pipeline
+        model.reset()
+        assert model.cycles == 0
+        assert model.stats.instructions == 0
+
+    def test_div_latency_applies(self):
+        fast = PipelineConfig(div_latency=5)
+        slow = PipelineConfig(div_latency=40)
+        src = "divu a0, a1, a2\nadd a3, a0, a0"
+        assert (cycles_of(src, slow, {"a1": 10, "a2": 3})
+                > cycles_of(src, fast, {"a1": 10, "a2": 3}))

@@ -1,0 +1,51 @@
+"""Tests for the Miller-Rabin primality utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.primality import first_odd_primes, is_prime
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 11, 13, 97, 127, 8191,
+                                   104729, 2**61 - 1])
+    def test_known_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", [-7, 0, 1, 4, 9, 15, 91, 561, 1105,
+                                   2**61 + 1, 3215031751])
+    def test_known_composites_and_edge(self, n):
+        assert not is_prime(n)
+
+    def test_carmichael_numbers(self):
+        # classic Fermat pseudo-primes must be rejected
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not is_prime(n)
+
+    def test_large_prime_csidh(self, p512):
+        assert is_prime(p512)
+
+    def test_large_composite(self, p512):
+        assert not is_prime(p512 + 2)  # even
+        assert not is_prime(p512 * 3)
+
+    def test_probabilistic_reproducible(self):
+        big = (1 << 127) - 1  # Mersenne prime M127
+        assert is_prime(big, seed=1) == is_prime(big, seed=2) is True
+
+
+class TestFirstOddPrimes:
+    def test_sequence(self):
+        assert first_odd_primes(5) == [3, 5, 7, 11, 13]
+
+    def test_count_73_ends_at_373(self):
+        primes = first_odd_primes(73)
+        assert len(primes) == 73
+        assert primes[-1] == 373  # the CSIDH-512 list boundary
+
+    def test_all_prime(self):
+        assert all(is_prime(p) for p in first_odd_primes(30))
+
+    def test_empty(self):
+        assert first_odd_primes(0) == []

@@ -1,0 +1,271 @@
+"""Cross-module property-based tests (hypothesis).
+
+These exercise whole-pipeline invariants rather than single functions:
+random instruction sequences surviving assemble/encode/decode loops,
+kernels matching big-integer oracles on adversarial operands, and the
+timing model's monotonicity properties.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ise import REDUCED_RADIX_ISA
+from repro.kernels.runner import KernelRunner
+from repro.rv64.assembler import assemble
+from repro.rv64.disassembler import format_instruction
+from repro.rv64.encoding import Decoder, encode_instruction
+from repro.rv64.isa import BASE_ISA, Instruction
+from repro.rv64.machine import Machine
+from repro.rv64.pipeline import PipelineConfig, PipelineModel
+
+REG = st.integers(min_value=0, max_value=31)
+# executed programs end in `ret`, so ra (x1) must not be clobbered
+REG_DST = REG.map(lambda r: 3 if r == 1 else r)
+SHAMT = st.integers(min_value=0, max_value=63)
+IMM12 = st.integers(min_value=-2048, max_value=2047)
+
+_R_MNEMONICS = ("add", "sub", "and", "or", "xor", "sltu", "slt",
+                "mul", "mulhu", "sll", "srl", "sra")
+_I_MNEMONICS = ("addi", "andi", "ori", "xori", "sltiu")
+
+
+@st.composite
+def random_alu_instruction(draw):
+    if draw(st.booleans()):
+        mnemonic = draw(st.sampled_from(_R_MNEMONICS))
+        return Instruction(mnemonic, rd=draw(REG_DST), rs1=draw(REG),
+                           rs2=draw(REG))
+    mnemonic = draw(st.sampled_from(_I_MNEMONICS))
+    return Instruction(mnemonic, rd=draw(REG_DST), rs1=draw(REG),
+                       imm=draw(IMM12))
+
+
+@st.composite
+def random_program(draw, max_length=20):
+    length = draw(st.integers(1, max_length))
+    return [draw(random_alu_instruction()) for _ in range(length)]
+
+
+class TestEncodingPipeline:
+    @settings(max_examples=60)
+    @given(random_program())
+    def test_encode_decode_fixpoint(self, program):
+        decoder = Decoder(BASE_ISA)
+        for ins in program:
+            word = encode_instruction(BASE_ISA, ins)
+            assert decoder.decode(word) == ins
+
+    @settings(max_examples=40)
+    @given(random_program())
+    def test_disassemble_reassemble_fixpoint(self, program):
+        text = "\n".join(
+            format_instruction(BASE_ISA, ins) for ins in program)
+        assert assemble(text, BASE_ISA).instructions == program
+
+    @settings(max_examples=40)
+    @given(random_program())
+    def test_execution_equals_reexecution(self, program):
+        """Determinism: two machines running the same image agree on
+        all of the architectural state."""
+        results = []
+        for _ in range(2):
+            machine = Machine(BASE_ISA)
+            entry = machine.load_program(
+                program + [Instruction("jalr", rd=0, rs1=1, imm=0)])
+            machine.regs["a0"] = 0xDEADBEEF
+            machine.run(entry)
+            results.append(machine.regs.snapshot())
+        assert results[0] == results[1]
+
+
+class TestTimingProperties:
+    @settings(max_examples=30)
+    @given(random_program())
+    def test_cycles_at_least_instructions(self, program):
+        machine = Machine(BASE_ISA, pipeline=PipelineModel())
+        entry = machine.load_program(
+            program + [Instruction("jalr", rd=0, rs1=1, imm=0)])
+        result = machine.run(entry)
+        assert result.cycles >= result.instructions_retired
+
+    @settings(max_examples=20)
+    @given(random_program())
+    def test_cycles_monotone_in_mul_latency(self, program):
+        cycles = []
+        for latency in (1, 3, 6):
+            machine = Machine(BASE_ISA, pipeline=PipelineModel(
+                PipelineConfig(mul_latency=latency)))
+            entry = machine.load_program(
+                program + [Instruction("jalr", rd=0, rs1=1, imm=0)])
+            cycles.append(machine.run(entry).cycles)
+        assert cycles == sorted(cycles)
+
+    @settings(max_examples=20)
+    @given(random_program())
+    def test_timing_does_not_change_architecture(self, program):
+        """Attaching a pipeline model never changes results."""
+        snapshots = []
+        for pipeline in (None, PipelineModel()):
+            machine = Machine(BASE_ISA, pipeline=pipeline)
+            entry = machine.load_program(
+                program + [Instruction("jalr", rd=0, rs1=1, imm=0)])
+            machine.run(entry)
+            snapshots.append(machine.regs.snapshot())
+        assert snapshots[0] == snapshots[1]
+
+
+class TestKernelOracles:
+    @settings(max_examples=8, deadline=None)
+    @given(st.data())
+    def test_fp_mul_oracle_random(self, kernels512, data):
+        kernel = kernels512["fp_mul.reduced.ise"]
+        p = kernel.context.modulus
+        a = data.draw(st.integers(0, p - 1))
+        b = data.draw(st.integers(0, p - 1))
+        KernelRunner(kernel).run(a, b)  # golden-checked internally
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.data())
+    def test_fp_add_sub_inverse(self, kernels512, data):
+        """(a + b) - b == a via two kernels composed."""
+        p = kernels512["fp_add.full.isa"].context.modulus
+        a = data.draw(st.integers(0, p - 1))
+        b = data.draw(st.integers(0, p - 1))
+        add = KernelRunner(kernels512["fp_add.full.isa"])
+        sub = KernelRunner(kernels512["fp_sub.full.isa"])
+        assert sub.run(add.run(a, b).value, b).value == a
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.data())
+    def test_mul_commutes(self, kernels512, data):
+        kernel = kernels512["int_mul.reduced.isa"]
+        p = kernel.context.modulus
+        a = data.draw(st.integers(0, p - 1))
+        b = data.draw(st.integers(0, p - 1))
+        runner = KernelRunner(kernel)
+        assert runner.run(a, b).value == runner.run(b, a).value
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.data())
+    def test_sqr_equals_mul_self(self, kernels512, data):
+        p = kernels512["int_sqr.full.ise"].context.modulus
+        a = data.draw(st.integers(0, p - 1))
+        sqr = KernelRunner(kernels512["int_sqr.full.ise"])
+        mul = KernelRunner(kernels512["int_mul.full.ise"])
+        assert sqr.run(a).value == mul.run(a, a).value
+
+
+class TestReducedIsaConsistency:
+    @settings(max_examples=30)
+    @given(st.integers(0, (1 << 64) - 1), st.integers(0, (1 << 64) - 1))
+    def test_sraiadd_equals_srai_plus_add(self, x, y):
+        """The fused instruction must equal its two-instruction
+        expansion for every input."""
+        fused = Machine(REDUCED_RADIX_ISA)
+        entry = fused.load_program(assemble(
+            "sraiadd a0, a1, a2, 57\nret", REDUCED_RADIX_ISA))
+        fused.regs["a1"], fused.regs["a2"] = x, y
+        fused.run(entry)
+
+        split = Machine(BASE_ISA)
+        entry = split.load_program(assemble(
+            "srai t0, a2, 57\nadd a0, a1, t0\nret", BASE_ISA))
+        split.regs["a1"], split.regs["a2"] = x, y
+        split.run(entry)
+        assert fused.regs["a0"] == split.regs["a0"]
+
+
+class TestDecoderFuzzing:
+    @settings(max_examples=300)
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_decode_is_sound(self, word):
+        """For any 32-bit word: decoding either raises EncodingError or
+        yields an instruction that re-encodes to a word decoding to the
+        same instruction (decode o encode is idempotent on its image)."""
+        from repro.errors import EncodingError
+        from repro.rv64.encoding import encode_instruction
+
+        decoder = Decoder(BASE_ISA)
+        try:
+            ins = decoder.decode(word)
+        except EncodingError:
+            return
+        word2 = encode_instruction(BASE_ISA, ins)
+        assert decoder.decode(word2) == ins
+
+    @settings(max_examples=150)
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_custom_decoder_sound(self, word):
+        from repro.errors import EncodingError
+        from repro.rv64.encoding import encode_instruction
+
+        decoder = Decoder(REDUCED_RADIX_ISA)
+        try:
+            ins = decoder.decode(word)
+        except EncodingError:
+            return
+        word2 = encode_instruction(REDUCED_RADIX_ISA, ins)
+        assert decoder.decode(word2) == ins
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=25)
+    @given(random_program(max_length=12))
+    def test_scheduling_preserves_results(self, program):
+        """Any straight-line ALU program: scheduled execution produces
+        identical architectural state."""
+        from repro.analysis.schedule import schedule
+
+        ret = Instruction("jalr", rd=0, rs1=1, imm=0)
+        snapshots = []
+        for instructions in (program + [ret],
+                             schedule(program + [ret], BASE_ISA)):
+            machine = Machine(BASE_ISA)
+            entry = machine.load_program(instructions)
+            machine.regs["a0"] = 7
+            machine.regs["a1"] = 13
+            machine.run(entry)
+            snapshots.append(machine.regs.snapshot())
+        assert snapshots[0] == snapshots[1]
+
+    @settings(max_examples=25)
+    @given(random_program(max_length=12))
+    def test_scheduling_never_hurts_by_much(self, program):
+        """The scheduler may reorder but never adds instructions, so
+        cycles can only improve or stay within the issue bound."""
+        from repro.analysis.schedule import schedule
+
+        ret = Instruction("jalr", rd=0, rs1=1, imm=0)
+        cycles = []
+        for instructions in (program + [ret],
+                             schedule(program + [ret], BASE_ISA)):
+            machine = Machine(BASE_ISA, pipeline=PipelineModel())
+            entry = machine.load_program(instructions)
+            cycles.append(machine.run(entry).cycles)
+        naive, scheduled = cycles
+        assert scheduled <= naive + 3  # greedy slack bound
+
+
+class TestToyKernelFuzzing:
+    """Exhaustive-ish kernel fuzzing on the 1-limb toy field (runs are
+    ~60 instructions, so hypothesis can afford many examples)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_all_ops_all_variants(self, toy_kernels, data):
+        name = data.draw(st.sampled_from(sorted(toy_kernels)))
+        kernel = toy_kernels[name]
+        p = kernel.context.modulus
+        values = tuple(
+            data.draw(st.integers(0, p - 1))
+            for _ in kernel.input_limbs
+        )
+        if kernel.operation in ("fast_reduce", "fast_reduce_add"):
+            values = (data.draw(st.integers(0, 2 * p - 1)),)
+        if kernel.operation == "mont_redc":
+            values = (data.draw(st.integers(0, p - 1))
+                      * data.draw(st.integers(0, p - 1)),)
+        from tests.conftest import _toy_runner_cache
+
+        _toy_runner_cache(kernel).run(*values)  # golden-checked

@@ -1,0 +1,144 @@
+"""Tests for the CSIDH key-exchange protocol layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.csidh.protocol import (
+    BASE_COEFFICIENT,
+    Csidh,
+    PrivateKey,
+    PublicKey,
+    key_exchange_demo,
+)
+from repro.errors import ProtocolError
+
+
+class TestKeyGeneration:
+    def test_private_key_in_bounds(self, mini_params):
+        party = Csidh(mini_params, seed=1)
+        private = party.generate_private_key()
+        m = mini_params.max_exponent
+        assert len(private.exponents) == mini_params.num_primes
+        assert all(-m <= e <= m for e in private.exponents)
+
+    def test_seeded_keygen_reproducible(self, mini_params):
+        k1 = Csidh(mini_params, seed=5).generate_private_key()
+        k2 = Csidh(mini_params, seed=5).generate_private_key()
+        assert k1 == k2
+
+    def test_public_key_is_supersingular_coefficient(self, mini_params):
+        from repro.csidh.validate import is_supersingular
+        import random
+        party = Csidh(mini_params, seed=2)
+        _, public = party.keygen()
+        assert is_supersingular(mini_params, party.field,
+                                public.coefficient, random.Random(0))
+
+    def test_public_key_deterministic_in_private(self, mini_params):
+        private = PrivateKey((1, 0, -1, 2, 0, 1, -2))
+        pub1 = Csidh(mini_params, seed=1).public_key(private)
+        pub2 = Csidh(mini_params, seed=77).public_key(private)
+        assert pub1 == pub2
+
+
+class TestKeyExchange:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_shared_secrets_agree_toy(self, toy_params, seed):
+        a, b = key_exchange_demo(toy_params, seed=seed)
+        assert a == b
+
+    def test_shared_secrets_agree_mini(self, mini_params):
+        a, b = key_exchange_demo(mini_params, seed=4)
+        assert a == b
+
+    def test_different_keys_different_secrets(self, mini_params):
+        alice = Csidh(mini_params, seed=1)
+        bob = Csidh(mini_params, seed=2)
+        eve = Csidh(mini_params, seed=3)
+        a_priv, a_pub = alice.keygen()
+        b_priv, b_pub = bob.keygen()
+        e_priv, _ = eve.keygen()
+        honest = alice.shared_secret(a_priv, b_pub)
+        eavesdropped = eve.shared_secret(e_priv, b_pub)
+        assert honest != eavesdropped
+
+    def test_invalid_public_key_rejected(self, mini_params):
+        party = Csidh(mini_params, seed=1)
+        private = party.generate_private_key()
+        # A = 2 is a singular curve; definitely not a valid key
+        with pytest.raises(ProtocolError):
+            party.shared_secret(private, PublicKey(2))
+
+    def test_validation_can_be_skipped(self, toy_params):
+        party = Csidh(toy_params, seed=1)
+        private, public = party.keygen()
+        # self-exchange, skipping validation
+        secret = party.shared_secret(private, public, validate=False)
+        assert isinstance(secret, int)
+
+
+class TestSerialisation:
+    def test_public_key_roundtrip(self, mini_params):
+        public = PublicKey(123456789)
+        data = public.to_bytes(mini_params)
+        assert PublicKey.from_bytes(data) == public
+
+    def test_csidh512_keys_are_64_bytes(self, csidh512_params):
+        public = PublicKey(csidh512_params.p - 1)
+        assert len(public.to_bytes(csidh512_params)) == 64
+
+    def test_base_coefficient_is_zero(self):
+        assert BASE_COEFFICIENT == 0
+
+
+class TestPrivateKeySerialisation:
+    def test_roundtrip(self, mini_params):
+        from repro.csidh.protocol import PrivateKey
+
+        key = PrivateKey((3, -3, 0, 1, -1, 2, -2))
+        data = key.to_bytes(mini_params)
+        assert len(data) == mini_params.num_primes
+        assert PrivateKey.from_bytes(data, mini_params) == key
+
+    def test_wrong_length_rejected(self, mini_params):
+        from repro.csidh.protocol import PrivateKey
+
+        with pytest.raises(ProtocolError):
+            PrivateKey.from_bytes(b"\x00\x01", mini_params)
+
+    def test_out_of_range_rejected(self, mini_params):
+        from repro.csidh.protocol import PrivateKey
+
+        data = bytes([100] * mini_params.num_primes)
+        with pytest.raises(ProtocolError):
+            PrivateKey.from_bytes(data, mini_params)
+
+
+class TestKeyDerivation:
+    def test_equal_secrets_equal_keys(self, toy_params):
+        from repro.csidh.protocol import derive_symmetric_key
+
+        a, b = key_exchange_demo(toy_params, seed=2)
+        assert a == b
+        key_a = derive_symmetric_key(a, toy_params)
+        key_b = derive_symmetric_key(b, toy_params)
+        assert key_a == key_b
+        assert len(key_a) == 32
+
+    def test_different_secrets_different_keys(self, toy_params):
+        from repro.csidh.protocol import derive_symmetric_key
+
+        assert derive_symmetric_key(5, toy_params) \
+            != derive_symmetric_key(6, toy_params)
+
+    def test_context_separation(self, toy_params):
+        from repro.csidh.protocol import derive_symmetric_key
+
+        assert derive_symmetric_key(5, toy_params, context=b"a") \
+            != derive_symmetric_key(5, toy_params, context=b"b")
+
+    def test_custom_length(self, toy_params):
+        from repro.csidh.protocol import derive_symmetric_key
+
+        assert len(derive_symmetric_key(5, toy_params, length=64)) == 64

@@ -1,0 +1,103 @@
+"""Unit tests for the register file and name resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.rv64.registers import (
+    ABI_NAMES,
+    NUM_REGISTERS,
+    RegisterFile,
+    register_index,
+    register_name,
+)
+
+
+class TestNameResolution:
+    def test_abi_names(self):
+        assert register_index("zero") == 0
+        assert register_index("ra") == 1
+        assert register_index("sp") == 2
+        assert register_index("a0") == 10
+        assert register_index("t6") == 31
+        assert register_index("s11") == 27
+
+    def test_architectural_names(self):
+        for i in range(NUM_REGISTERS):
+            assert register_index(f"x{i}") == i
+
+    def test_fp_alias(self):
+        assert register_index("fp") == register_index("s0") == 8
+
+    def test_case_and_whitespace(self):
+        assert register_index(" A0 ") == 10
+        assert register_index("X5") == 5
+
+    def test_integer_passthrough(self):
+        assert register_index(7) == 7
+
+    def test_bad_names(self):
+        with pytest.raises(SimulationError):
+            register_index("x32")
+        with pytest.raises(SimulationError):
+            register_index("bogus")
+        with pytest.raises(SimulationError):
+            register_index(32)
+
+    def test_register_name_roundtrip(self):
+        for i in range(NUM_REGISTERS):
+            assert register_index(register_name(i)) == i
+
+    def test_register_name_bounds(self):
+        with pytest.raises(SimulationError):
+            register_name(32)
+
+
+class TestRegisterFile:
+    def test_initial_zero(self):
+        rf = RegisterFile()
+        assert all(rf.read(i) == 0 for i in range(NUM_REGISTERS))
+
+    def test_write_read(self):
+        rf = RegisterFile()
+        rf.write("a0", 123)
+        assert rf.read("a0") == 123
+        assert rf.read("x10") == 123
+
+    def test_x0_hardwired(self):
+        rf = RegisterFile()
+        rf.write("zero", 999)
+        assert rf.read("zero") == 0
+        rf.write(0, 999)
+        assert rf.read(0) == 0
+
+    def test_truncation_to_64_bits(self):
+        rf = RegisterFile()
+        rf.write("t0", 1 << 64)
+        assert rf.read("t0") == 0
+        rf.write("t0", -1)
+        assert rf.read("t0") == (1 << 64) - 1
+
+    def test_item_access(self):
+        rf = RegisterFile()
+        rf["s3"] = 42
+        assert rf["s3"] == 42
+
+    def test_reset(self):
+        rf = RegisterFile()
+        rf["t1"] = 5
+        rf.reset()
+        assert rf["t1"] == 0
+
+    def test_snapshot_names(self):
+        rf = RegisterFile()
+        rf["a1"] = 7
+        snap = rf.snapshot()
+        assert snap["a1"] == 7
+        assert "zero" in snap
+
+    def test_dump_contains_all(self):
+        text = RegisterFile().dump()
+        for name in ABI_NAMES:
+            assert name in text

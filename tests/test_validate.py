@@ -1,0 +1,70 @@
+"""Tests for public-key (supersingularity) validation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.csidh.group_action import group_action
+from repro.csidh.validate import is_supersingular
+from repro.field.fp import FieldContext
+
+
+@pytest.fixture(scope="module")
+def mini_field(mini_params):
+    return FieldContext(mini_params.p)
+
+
+class TestAccepts:
+    def test_base_curve(self, mini_params, mini_field):
+        assert is_supersingular(mini_params, mini_field, 0,
+                                random.Random(1))
+
+    def test_action_results(self, mini_params, mini_field):
+        rng = random.Random(3)
+        for seed in range(3):
+            key = mini_params.sample_private_key(random.Random(seed))
+            a = group_action(mini_params, mini_field, 0, key, rng)
+            assert is_supersingular(mini_params, mini_field, a,
+                                    random.Random(seed))
+
+
+class TestRejects:
+    def test_singular_curves(self, mini_params, mini_field):
+        p = mini_params.p
+        for bad in (2, p - 2):
+            assert not is_supersingular(mini_params, mini_field, bad,
+                                        random.Random(0))
+
+    def test_ordinary_curves(self, mini_params, mini_field):
+        """Random coefficients are overwhelmingly ordinary curves (there
+        are only O(sqrt(p)) supersingular ones)."""
+        rng = random.Random(9)
+        rejected = 0
+        for _ in range(8):
+            candidate = rng.randrange(3, mini_params.p - 3)
+            if not is_supersingular(mini_params, mini_field, candidate,
+                                    random.Random(1)):
+                rejected += 1
+        assert rejected >= 7  # allow one unlucky supersingular hit
+
+    def test_toy_field_exhaustive_count(self, toy_params):
+        """Over p=419 every supersingular A can be enumerated: the
+        validator must accept exactly the class-group orbit of A=0."""
+        field = FieldContext(toy_params.p)
+        reachable = set()
+        rng = random.Random(5)
+        for e1 in range(-2, 3):
+            for e2 in range(-2, 3):
+                for e3 in range(-2, 3):
+                    reachable.add(group_action(
+                        toy_params, field, 0, (e1, e2, e3), rng))
+        accepted = {
+            a for a in range(toy_params.p)
+            if is_supersingular(toy_params, field, a, random.Random(7))
+        }
+        assert reachable <= accepted
+        # class number of Z[sqrt(-419)] bounds the orbit; the accepted
+        # set must stay tiny compared with the field
+        assert len(accepted) < toy_params.p // 10
