@@ -49,6 +49,7 @@ from repro.rv64.isa import (
     OP_CUSTOM_SRAIADD,
     register_global_spec,
 )
+from repro.rv64.replay import register_compiler as register_replay_compiler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.rv64.machine import MachineState
@@ -207,3 +208,44 @@ EXTENDED_ISA = BASE_ISA.extend("rv64im+ise-all", ALL_ISE_SPECS)
 
 for _spec in ALL_ISE_SPECS:
     register_global_spec(_spec)
+
+
+# ---------------------------------------------------------------------------
+# Trace-replay compilers
+# ---------------------------------------------------------------------------
+# Bind the same pure value functions the execute hooks use, so replay
+# and interpreter semantics cannot drift (see repro.rv64.replay).
+
+def _r4_compiler(value_fn):
+    def compile_(state, ins, pc):
+        if ins.rd == 0:
+            return None
+        regs = state.regs._regs
+        rd, rs1, rs2, rs3 = ins.rd, ins.rs1, ins.rs2, ins.rs3
+
+        def step() -> None:
+            regs[rd] = value_fn(regs[rs1], regs[rs2], regs[rs3])
+
+        return step
+
+    return compile_
+
+
+def _compile_sraiadd(state, ins, pc):
+    if ins.rd == 0:
+        return None
+    regs = state.regs._regs
+    rd, rs1, rs2, imm = ins.rd, ins.rs1, ins.rs2, ins.imm
+
+    def step() -> None:
+        regs[rd] = sraiadd_value(regs[rs1], regs[rs2], imm)
+
+    return step
+
+
+register_replay_compiler("maddlu", _r4_compiler(maddlu_value))
+register_replay_compiler("maddhu", _r4_compiler(maddhu_value))
+register_replay_compiler("madd57lu", _r4_compiler(madd57lu_value))
+register_replay_compiler("madd57hu", _r4_compiler(madd57hu_value))
+register_replay_compiler("cadd", _r4_compiler(cadd_value))
+register_replay_compiler("sraiadd", _compile_sraiadd)

@@ -1,24 +1,35 @@
 """A FieldContext whose arithmetic executes on the RV64 simulator.
 
 Every ``mul``/``sqr``/``add``/``sub`` is carried out by the generated
-assembly kernels of one implementation variant, instruction by
-instruction, on the functional simulator — turning a CSIDH run into an
-actual execution on the (extended) core.  This is far too slow for
-CSIDH-512, but with the toy parameter sets it provides a true
-end-to-end check: protocol -> curve arithmetic -> field kernels ->
-custom instructions -> pipeline.
+assembly kernels of one implementation variant on the functional
+simulator — turning a CSIDH run into an actual execution on the
+(extended) core.  By default the kernels run through the trace-replay
+engine (:mod:`repro.rv64.replay`): each kernel is decoded once into a
+compiled closure sequence with a precomputed cycle cost, so an
+end-to-end protocol run touches fetch/decode and the cycle-accurate
+pipeline walker exactly once per kernel instead of once per field
+operation.  The replay path is bit- and cycle-identical to the
+interpreter (proven operand-by-operand by ``tests/differential/``);
+pass ``cross_check=True`` to route every operation through the full
+interpreter with per-run golden-reference verification instead — the
+slow, belt-and-braces mode for debugging new kernels or pipelines.
 
 The kernels implement *Montgomery* multiplication (``a*b*R^-1``), while
 the :class:`FieldContext` API is plain modular arithmetic; the adapter
 hides the domain conversion by folding in ``R^2`` per multiplication
 (costing one extra kernel run — irrelevant for a functional check).
+
+Runners are pooled per (modulus, kernel, pipeline) via
+:func:`repro.kernels.registry.cached_runner`, so constructing many
+contexts — one per benchmark round, say — assembles and trace-compiles
+each kernel only once per process.
 """
 
 from __future__ import annotations
 
 from repro.field.counters import OpCounter
 from repro.field.fp import FieldContext
-from repro.kernels.registry import cached_kernels
+from repro.kernels.registry import cached_runner
 from repro.kernels.runner import KernelRunner
 from repro.kernels.spec import (
     OP_FP_ADD,
@@ -39,17 +50,20 @@ class SimulatedFieldContext(FieldContext):
         variant: str = "reduced.ise",
         counter: OpCounter | None = None,
         pipeline_config: PipelineConfig = ROCKET_CONFIG,
-        cross_check: bool = True,
+        cross_check: bool = False,
     ) -> None:
         super().__init__(p, counter)
         self.variant = variant
         self.cross_check = cross_check
-        kernels = cached_kernels(p)
+        # cross_check escapes to the interpreter and verifies every run
+        # against the kernel's golden reference; the default replays
+        # compiled traces (equivalence is covered by the differential
+        # suite, so per-run re-verification would only re-prove it).
+        self._replay = not cross_check
 
         def runner(operation: str) -> KernelRunner:
-            return KernelRunner(
-                kernels[f"{operation}.{variant}"],
-                pipeline_config=pipeline_config,
+            return cached_runner(
+                p, f"{operation}.{variant}", pipeline_config
             )
 
         self._mul = runner(OP_FP_MUL)
@@ -64,7 +78,8 @@ class SimulatedFieldContext(FieldContext):
     # -- kernel dispatch -----------------------------------------------------
 
     def _run(self, runner: KernelRunner, *values: int) -> int:
-        run = runner.run(*values, check=self.cross_check)
+        run = runner.run(*values, check=self.cross_check,
+                         replay=self._replay)
         self.simulated_instructions += run.instructions
         self.simulated_cycles += run.cycles
         return run.value

@@ -29,6 +29,7 @@ from repro.kernels.registry import (
     build_all_kernels,
     build_kernel,
     cached_kernels,
+    cached_runner,
     make_contexts,
 )
 from repro.kernels.runner import KernelRun, KernelRunner, run_kernel
@@ -65,6 +66,7 @@ __all__ = [
     "build_all_kernels",
     "build_kernel",
     "cached_kernels",
+    "cached_runner",
     "make_contexts",
     "KernelRun",
     "KernelRunner",

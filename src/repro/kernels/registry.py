@@ -28,6 +28,7 @@ from repro.errors import KernelError
 from repro.kernels import fullradix, reducedradix
 from repro.kernels.builder import KernelBuilder
 from repro.kernels.layout import SCRATCH_ADDR
+from repro.kernels.runner import KernelRunner
 from repro.kernels.spec import (
     ALL_VARIANTS,
     Kernel,
@@ -48,6 +49,7 @@ from repro.mpi.representation import (
     reduced_radix_for,
 )
 from repro.rv64.isa import BASE_ISA, InstructionSet
+from repro.rv64.pipeline import PipelineConfig, ROCKET_CONFIG
 
 
 def _isa_for(variant: str) -> InstructionSet:
@@ -285,3 +287,27 @@ def build_all_kernels(modulus: int) -> dict[str, Kernel]:
 def cached_kernels(modulus: int) -> dict[str, Kernel]:
     """Memoised :func:`build_all_kernels` (generation is pure)."""
     return build_all_kernels(modulus)
+
+
+@lru_cache(maxsize=256)
+def cached_runner(
+    modulus: int,
+    name: str,
+    pipeline_config: PipelineConfig = ROCKET_CONFIG,
+) -> KernelRunner:
+    """Pooled :class:`KernelRunner` for one kernel of *modulus*.
+
+    Assembling a kernel and compiling its replay trace are pure,
+    per-kernel costs; pooling runners lets every
+    :class:`~repro.field.simulated.SimulatedFieldContext` (and any other
+    repeat executor) share one machine per kernel instead of paying
+    assembly again.  Runs are self-contained (reset, plant operands,
+    execute, read result), so interleaved use at run granularity is safe
+    in a single-threaded process.
+    """
+    kernel = cached_kernels(modulus).get(name)
+    if kernel is None:
+        raise KernelError(
+            f"no kernel {name!r} generated for modulus {modulus:#x}"
+        )
+    return KernelRunner(kernel, pipeline_config=pipeline_config)

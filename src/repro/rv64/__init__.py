@@ -33,6 +33,12 @@ from repro.rv64.pipeline import (
     ROCKET_CONFIG_WITH_CACHES,
 )
 from repro.rv64.registers import RegisterFile, register_index, register_name
+from repro.rv64.replay import (
+    CompiledTrace,
+    ReplayError,
+    compile_trace,
+    register_compiler,
+)
 from repro.rv64.timeline import (
     TimelineEntry,
     render_timeline,
@@ -72,6 +78,10 @@ __all__ = [
     "RegisterFile",
     "register_index",
     "register_name",
+    "CompiledTrace",
+    "ReplayError",
+    "compile_trace",
+    "register_compiler",
     "TimelineEntry",
     "render_timeline",
     "trace_timeline",

@@ -84,6 +84,9 @@ class Machine:
         self._trace_hooks: list[TraceHook] = []
         self.collect_histogram = False
         self._histogram: Counter[str] = Counter()
+        # decode-once/replay-many caches (see repro.rv64.replay)
+        self._trace_cache: dict[int, object] = {}
+        self._replay_rejected: set[int] = set()
 
     # -- program management ------------------------------------------------
 
@@ -101,6 +104,8 @@ class Machine:
         for index, ins in enumerate(instructions):
             spec = self.isa[ins.mnemonic]
             self._program[base + 4 * index] = (ins, spec)
+        self._trace_cache.clear()
+        self._replay_rejected.clear()
         return base
 
     def program_extent(self) -> tuple[int, int]:
@@ -141,6 +146,7 @@ class Machine:
         *,
         setup_return: bool = True,
         stack_top: int = DEFAULT_STACK_TOP,
+        replay: bool = False,
     ) -> ExecutionResult:
         """Run from *entry* until halt; returns retired-instruction stats.
 
@@ -148,7 +154,22 @@ class Machine:
         :data:`HALT_ADDRESS` and ``sp`` at *stack_top*, so a trailing
         ``ret`` ends the simulation — the calling convention used by all
         generated kernels.
+
+        With ``replay=True`` the program is decoded once into a compiled
+        trace (see :mod:`repro.rv64.replay`) and subsequent runs replay
+        the bound closures, skipping fetch/decode and the per-
+        instruction timing walk; the architectural result and the
+        reported cycle count are identical to the interpreter's for a
+        run from :meth:`reset` (the cycle cost of straight-line code is
+        a static property of the trace, so the attached pipeline model
+        is left untouched).  Programs that cannot be proven replayable —
+        internal control flow, trace hooks, cache-enabled timing —
+        silently fall back to the interpreter.
         """
+        if replay and setup_return and not self._trace_hooks:
+            trace = self._trace_for(entry)
+            if trace is not None:
+                return self._replay(trace, stack_top)
         state = self.state
         if setup_return:
             state.regs.write("ra", HALT_ADDRESS)
@@ -205,4 +226,44 @@ class Machine:
             instructions_retired=retired,
             cycles=pipeline.cycles if pipeline else None,
             histogram=Counter(self._histogram),
+        )
+
+    # -- trace replay --------------------------------------------------------
+
+    def _trace_for(self, entry: int):
+        """Compile (once) and cache the replay trace for *entry*."""
+        trace = self._trace_cache.get(entry)
+        if trace is None and entry not in self._replay_rejected:
+            from repro.rv64.replay import ReplayError, compile_trace
+
+            try:
+                trace = compile_trace(self, entry)
+            except ReplayError:
+                self._replay_rejected.add(entry)
+                return None
+            self._trace_cache[entry] = trace
+        return trace
+
+    def replay_supported(self, entry: int) -> bool:
+        """Whether the program at *entry* compiles to a replay trace."""
+        return self._trace_for(entry) is not None
+
+    def _replay(self, trace, stack_top: int) -> ExecutionResult:
+        """Execute a compiled trace; mirrors one interpreted run."""
+        state = self.state
+        regs = state.regs._regs
+        regs[1] = HALT_ADDRESS   # ra
+        regs[2] = stack_top      # sp
+        for step in trace.steps:
+            step()
+        state.pc = trace.exit_pc
+        state.halted = trace.halts
+        return ExecutionResult(
+            instructions_retired=trace.instructions_retired,
+            cycles=trace.cycles,
+            histogram=(
+                Counter(trace.histogram)
+                if self.collect_histogram
+                else Counter()
+            ),
         )

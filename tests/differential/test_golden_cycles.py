@@ -1,0 +1,60 @@
+"""Golden cycle-count regression: pin every kernel's static cost.
+
+Cycle counts are the paper's headline numbers; a pipeline-model tweak
+or a kernel-generator change that shifts them must be a *conscious*
+decision.  This test recomputes the static cycle count of all 76
+kernels (toy + CSIDH-512) and diffs against ``tests/golden_cycles.json``,
+reporting every drift as ``kernel: golden -> current (+delta)`` so the
+failure is reviewable at a glance.  Regenerate after intentional
+changes with::
+
+    PYTHONPATH=src python -m tests.differential.generate_golden
+"""
+
+from __future__ import annotations
+
+import json
+
+from tests.differential.generate_golden import (
+    GOLDEN_PATH,
+    PARAMETER_SETS,
+    collect_cycles,
+)
+
+
+def test_snapshot_exists_and_covers_all_parameter_sets():
+    golden = json.loads(GOLDEN_PATH.read_text())["moduli"]
+    assert set(golden) == set(PARAMETER_SETS)
+    for set_name, cycles in golden.items():
+        assert cycles, f"{set_name}: empty snapshot"
+        assert all(
+            isinstance(c, int) and c > 0 for c in cycles.values()
+        ), f"{set_name}: non-positive cycle counts"
+
+
+def test_cycle_counts_match_golden_snapshot():
+    golden = json.loads(GOLDEN_PATH.read_text())["moduli"]
+    current = collect_cycles()["moduli"]
+
+    lines = []
+    for set_name in sorted(set(golden) | set(current)):
+        want = golden.get(set_name, {})
+        got = current.get(set_name, {})
+        for kernel in sorted(set(want) | set(got)):
+            if kernel not in got:
+                lines.append(f"  {set_name}/{kernel}: kernel vanished "
+                             f"(golden {want[kernel]})")
+            elif kernel not in want:
+                lines.append(f"  {set_name}/{kernel}: new kernel "
+                             f"({got[kernel]} cycles) missing from "
+                             f"snapshot")
+            elif got[kernel] != want[kernel]:
+                delta = got[kernel] - want[kernel]
+                lines.append(
+                    f"  {set_name}/{kernel}: "
+                    f"{want[kernel]} -> {got[kernel]} ({delta:+d})")
+
+    assert not lines, (
+        "cycle counts drifted from tests/golden_cycles.json "
+        "(regenerate via python -m tests.differential.generate_golden "
+        "if intentional):\n" + "\n".join(lines))

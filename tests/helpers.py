@@ -1,8 +1,21 @@
-"""Test helpers: run assembly snippets on a fresh machine."""
+"""Test helpers: run assembly snippets; operand strategies for kernels."""
 
 from __future__ import annotations
 
 from repro.core.ise import EXTENDED_ISA
+from repro.kernels.spec import (
+    Kernel,
+    OP_FAST_REDUCE,
+    OP_FAST_REDUCE_ADD,
+    OP_FP_ADD,
+    OP_FP_MUL,
+    OP_FP_SQR,
+    OP_FP_SUB,
+    OP_INT_MUL,
+    OP_INT_MUL_OS,
+    OP_INT_SQR,
+    OP_MONT_REDC,
+)
 from repro.rv64.assembler import assemble
 from repro.rv64.isa import InstructionSet
 from repro.rv64.machine import ExecutionResult, Machine
@@ -37,3 +50,68 @@ def run_asm(
 
 def result_of(machine: Machine) -> ExecutionResult:
     return machine.last_result  # type: ignore[attr-defined]
+
+
+# ---------------------------------------------------------------------------
+# Operand strategies for kernel-level property testing
+# ---------------------------------------------------------------------------
+
+def operand_bounds(kernel: Kernel) -> tuple[int, ...]:
+    """Exclusive upper bound of each operand in *kernel*'s reference
+    domain (mirrors the registry's seeded samplers)."""
+    ctx = kernel.context
+    p = ctx.modulus
+    operation = kernel.operation
+    if operation in (OP_INT_MUL, OP_INT_MUL_OS, OP_FP_ADD, OP_FP_SUB,
+                     OP_FP_MUL):
+        return (p, p)
+    if operation in (OP_INT_SQR, OP_FP_SQR):
+        return (p,)
+    if operation == OP_MONT_REDC:
+        # the real workload: double-width products of field elements
+        return ((p - 1) * (p - 1) + 1,)
+    if operation in (OP_FAST_REDUCE, OP_FAST_REDUCE_ADD):
+        return (min(2 * p, 1 << ctx.radix.capacity_bits),)
+    raise ValueError(f"unknown operation {operation!r}")
+
+
+def boundary_operand_values(kernel: Kernel, *,
+                            clip_to_domain: bool = True):
+    """Per-operand boundary values: 0, 1, p-1, all-ones limb vectors.
+
+    With ``clip_to_domain`` the all-ones vector is capped at the
+    operand's reference domain so golden-reference checks stay valid;
+    without it the raw vector is kept (useful for differential tests,
+    which only compare two execution paths against each other).
+    """
+    radix = kernel.context.radix
+    p = kernel.context.modulus
+    per_operand = []
+    for hi, limbs in zip(operand_bounds(kernel), kernel.input_limbs):
+        all_ones = radix.from_limbs([radix.mask] * limbs)
+        candidates = {0, 1, p - 1, all_ones}
+        if clip_to_domain:
+            candidates = {min(c, hi - 1) for c in candidates}
+        per_operand.append(tuple(sorted(candidates)))
+    return tuple(per_operand)
+
+
+def kernel_operands(kernel: Kernel, *, boundary_bias: bool = True):
+    """Hypothesis strategy over valid operand tuples for *kernel*.
+
+    Draws uniformly from the operand's reference domain, with (by
+    default) extra weight on the boundary values where carry chains and
+    conditional subtractions earn their keep.
+    """
+    from hypothesis import strategies as st
+
+    per_operand = []
+    for hi, boundary in zip(operand_bounds(kernel),
+                            boundary_operand_values(kernel)):
+        uniform = st.integers(min_value=0, max_value=hi - 1)
+        if boundary_bias:
+            per_operand.append(
+                st.one_of(uniform, st.sampled_from(boundary)))
+        else:
+            per_operand.append(uniform)
+    return st.tuples(*per_operand)

@@ -97,6 +97,18 @@ class TestRunner:
             kernel, pipeline_config=PipelineConfig(mul_latency=6))
         assert slow.run(3, 4).cycles > fast.run(3, 4).cycles
 
+    def test_missing_pipeline_raises_not_zero(self, kernels512):
+        """A machine without a timing model must fail loudly: a silent
+        cycles=0 would corrupt every downstream evaluation table."""
+        runner = KernelRunner(kernels512["fp_add.full.isa"])
+        runner.machine.pipeline = None
+        with pytest.raises(KernelError, match="no cycle count"):
+            runner.run(3, 4)
+
+    def test_static_cycles_matches_measured(self, kernels512):
+        runner = KernelRunner(kernels512["fp_mul.reduced.ise"])
+        assert runner.static_cycles() == runner.run(3, 4).cycles
+
     def test_code_bytes_reported(self, kernels512):
         runner = KernelRunner(kernels512["int_mul.full.isa"])
         assert runner.code_bytes > 4 * 500  # ~560 unrolled instructions
