@@ -8,7 +8,13 @@ Commands:
 * ``exchange`` — run a key exchange (mini params by default);
 * ``report`` — full markdown reproduction report;
 * ``kernel`` — dump one generated kernel's assembly;
-* ``listings`` — print the MAC listings with instruction counts.
+* ``listings`` — print the MAC listings with instruction counts;
+* ``profile`` — run an instrumented group action and print the
+  cycle-attribution span tree (see ``docs/OBSERVABILITY.md``).
+
+``action``, ``table4`` and ``report`` additionally accept
+``--telemetry PATH`` to export spans and metrics (JSON, or JSONL when
+the path ends in ``.jsonl``).
 """
 
 from __future__ import annotations
@@ -25,6 +31,17 @@ _PARAM_SETS = {
 }
 
 
+def _export_telemetry(path: str, root, registry, extra=None) -> None:
+    """Write spans+metrics to *path* (JSONL if so named, else JSON)."""
+    from repro.telemetry import export
+
+    if path.endswith(".jsonl"):
+        export.write_jsonl(path, root, registry)
+    else:
+        export.write_json(path, root, registry, extra=extra)
+    print(f"telemetry written to {path}")
+
+
 def _cmd_table3(args: argparse.Namespace) -> int:
     from repro.eval.table3 import overhead_summary, render_table3
 
@@ -39,8 +56,16 @@ def _cmd_table4(args: argparse.Namespace) -> int:
     from repro.eval.table4 import measure_table4, render_table4
 
     params = _PARAM_SETS[args.params]()
-    table = measure_table4(params.p)
-    print(render_table4(table, include_paper=not args.no_paper))
+    if args.telemetry:
+        from repro import telemetry
+
+        with telemetry.capture() as cap:
+            table = measure_table4(params.p)
+        print(render_table4(table, include_paper=not args.no_paper))
+        _export_telemetry(args.telemetry, cap.root, cap.registry)
+    else:
+        table = measure_table4(params.p)
+        print(render_table4(table, include_paper=not args.no_paper))
     return 0
 
 
@@ -54,6 +79,21 @@ def _cmd_action(args: argparse.Namespace) -> int:
                                    keys=args.keys, seed=args.seed)
     print("\n".join(result.summary_lines(
         include_paper=not args.no_paper)))
+    if args.telemetry:
+        # the analytic composition above models cycles; the telemetry
+        # artifact *measures* them: one fully simulated group action
+        # with spans across every protocol phase
+        from repro.telemetry.profile import (
+            profile_group_action,
+            render_profile,
+        )
+
+        profile = profile_group_action(params, seed=args.seed)
+        print()
+        print(render_profile(profile))
+        _export_telemetry(args.telemetry, profile.root,
+                          profile.registry,
+                          extra={"workload": profile.workload_dict()})
     return 0
 
 
@@ -71,7 +111,14 @@ def _cmd_exchange(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.eval.report import generate_report
 
-    report = generate_report(keys=args.keys, seed=args.seed)
+    if args.telemetry:
+        from repro import telemetry
+
+        with telemetry.capture() as cap:
+            report = generate_report(keys=args.keys, seed=args.seed)
+        _export_telemetry(args.telemetry, cap.root, cap.registry)
+    else:
+        report = generate_report(keys=args.keys, seed=args.seed)
     text = report.to_markdown()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -132,6 +179,29 @@ def _cmd_listings(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.telemetry.export import write_bench
+    from repro.telemetry.profile import (
+        profile_group_action,
+        render_profile,
+    )
+
+    params = _PARAM_SETS[args.params]()
+    result = profile_group_action(
+        params, variant=args.variant, seed=args.seed,
+        cross_check=args.cross_check,
+    )
+    print(render_profile(result, top=args.top))
+    if args.output:
+        _export_telemetry(args.output, result.root, result.registry,
+                          extra={"workload": result.workload_dict()})
+    if args.bench_out:
+        write_bench(args.bench_out, "protocol",
+                    result.bench_record())
+        print(f"benchmark trajectory appended to {args.bench_out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -151,12 +221,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-paper", action="store_true")
     p.set_defaults(func=_cmd_table3)
 
+    def telemetry_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--telemetry", metavar="PATH", default=None,
+            help="export spans+metrics to PATH "
+                 "(JSON, or JSONL for *.jsonl)")
+
     p = sub.add_parser("table4", help="operation cycle table")
     common(p)
+    telemetry_flag(p)
     p.set_defaults(func=_cmd_table4)
 
     p = sub.add_parser("action", help="group-action cycles/speedups")
     common(p)
+    telemetry_flag(p)
     p.add_argument("--keys", type=int, default=2)
     p.set_defaults(func=_cmd_action)
 
@@ -168,7 +246,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", default=None)
     p.add_argument("--keys", type=int, default=2)
     p.add_argument("--seed", type=int, default=7)
+    telemetry_flag(p)
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "profile",
+        help="instrumented group action: cycle-attribution span tree")
+    p.add_argument("--params", choices=sorted(_PARAM_SETS),
+                   default="toy")
+    p.add_argument("--variant", default="reduced.ise",
+                   help="kernel variant (e.g. reduced.ise, full.isa)")
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--top", type=int, default=8,
+                   help="hot kernels to list")
+    p.add_argument("--cross-check", action="store_true",
+                   help="interpreter path with golden verification")
+    p.add_argument("--output", "-o", default=None,
+                   help="telemetry export path (JSON/JSONL)")
+    p.add_argument("--bench-out", default=None, metavar="PATH",
+                   help="append a run record to the BENCH_*.json "
+                        "perf trajectory")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("kernel", help="dump a generated kernel")
     p.add_argument("name", help="e.g. fp_mul.reduced.ise")

@@ -19,6 +19,7 @@ import math
 import random
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.csidh.isogeny import isogeny
 from repro.csidh.montgomery import (
     Curve,
@@ -75,51 +76,62 @@ def group_action(
     if stats is None:
         stats = ActionStats()
 
-    rounds = 0
-    while any(pending):
-        rounds += 1
-        if rounds > max_rounds:
-            raise ProtocolError(
-                f"group action did not converge in {max_rounds} rounds"
-            )
+    # telemetry spans mirror Table 4's additive decomposition: every
+    # field operation below lands in exactly one phase span, so the
+    # captured tree's totals sum to the run's simulated-cycle total
+    with telemetry.span("group_action"):
+        rounds = 0
+        while any(pending):
+            rounds += 1
+            if rounds > max_rounds:
+                raise ProtocolError(
+                    f"group action did not converge in "
+                    f"{max_rounds} rounds"
+                )
 
-        x = rng.randrange(1, p)
-        rhs = curve_rhs(field, a, x)
-        side = field.legendre(rhs)
-        if side == 0:
-            stats.wasted_samples += 1
-            continue
-        todo = [
-            i for i, e in enumerate(pending)
-            if e != 0 and (1 if e > 0 else -1) == side
-        ]
-        if not todo:
-            stats.wasted_samples += 1
-            continue
-        stats.rounds += 1
-
-        k = math.prod(ells[i] for i in todo)
-        curve = Curve.from_affine(field, a)
-        point = ladder(field, (p + 1) // k, XPoint(x, 1), curve)
-
-        for position, i in enumerate(todo):
-            ell = ells[i]
-            if point.is_infinity:
-                stats.missed_kernels += len(todo) - position
-                break
-            kernel = ladder(field, k // ell, point, curve)
-            if kernel.is_infinity:
-                stats.missed_kernels += 1
-                k //= ell
+            with telemetry.span("sample_point"):
+                x = rng.randrange(1, p)
+                rhs = curve_rhs(field, a, x)
+                side = field.legendre(rhs)
+            if side == 0:
+                stats.wasted_samples += 1
                 continue
-            push = (point,) if position < len(todo) - 1 else ()
-            result = isogeny(field, curve, kernel, ell, push=push)
-            curve = result.curve
-            point = result.images[0] if push else XPoint(1, 0)
-            k //= ell
-            pending[i] -= side
-            stats.isogenies += 1
+            todo = [
+                i for i, e in enumerate(pending)
+                if e != 0 and (1 if e > 0 else -1) == side
+            ]
+            if not todo:
+                stats.wasted_samples += 1
+                continue
+            stats.rounds += 1
 
-        a = curve.affine_a(field)
+            k = math.prod(ells[i] for i in todo)
+            curve = Curve.from_affine(field, a)
+            with telemetry.span("cofactor_clear"):
+                point = ladder(field, (p + 1) // k, XPoint(x, 1),
+                               curve)
+
+            for position, i in enumerate(todo):
+                ell = ells[i]
+                if point.is_infinity:
+                    stats.missed_kernels += len(todo) - position
+                    break
+                with telemetry.span("isogeny", degree=ell):
+                    kernel = ladder(field, k // ell, point, curve)
+                    if kernel.is_infinity:
+                        stats.missed_kernels += 1
+                        k //= ell
+                        continue
+                    push = (point,) if position < len(todo) - 1 else ()
+                    result = isogeny(field, curve, kernel, ell,
+                                     push=push)
+                    curve = result.curve
+                    point = result.images[0] if push else XPoint(1, 0)
+                    k //= ell
+                    pending[i] -= side
+                    stats.isogenies += 1
+
+            with telemetry.span("recover_affine"):
+                a = curve.affine_a(field)
 
     return a

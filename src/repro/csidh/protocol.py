@@ -16,6 +16,7 @@ import hashlib
 import random
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.csidh.group_action import ActionStats, group_action
 from repro.csidh.parameters import CsidhParameters
 from repro.csidh.validate import is_supersingular
@@ -110,10 +111,11 @@ class Csidh:
         self, private: PrivateKey, *, stats: ActionStats | None = None
     ) -> PublicKey:
         """``[private] * E_0``."""
-        coefficient = group_action(
-            self.params, self.field, BASE_COEFFICIENT,
-            private.exponents, self._rng, stats=stats,
-        )
+        with telemetry.span("public_key"):
+            coefficient = group_action(
+                self.params, self.field, BASE_COEFFICIENT,
+                private.exponents, self._rng, stats=stats,
+            )
         return PublicKey(coefficient)
 
     def keygen(self) -> tuple[PrivateKey, PublicKey]:
@@ -138,14 +140,18 @@ class Csidh:
         :class:`~repro.errors.ProtocolError`.
         """
         peer_a = peer.coefficient % self.params.p
-        if validate and not is_supersingular(
-            self.params, self.field, peer_a, self._rng
-        ):
-            raise ProtocolError("peer public key failed validation")
-        return group_action(
-            self.params, self.field, peer_a,
-            private.exponents, self._rng, stats=stats,
-        )
+        with telemetry.span("shared_secret"):
+            if validate:
+                with telemetry.span("validate_peer"):
+                    valid = is_supersingular(
+                        self.params, self.field, peer_a, self._rng)
+                if not valid:
+                    raise ProtocolError(
+                        "peer public key failed validation")
+            return group_action(
+                self.params, self.field, peer_a,
+                private.exponents, self._rng, stats=stats,
+            )
 
 
 def derive_symmetric_key(

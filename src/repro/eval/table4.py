@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.eval.paperdata import PAPER_TABLE4, TABLE4_ROW_LABELS
 from repro.field.counters import OpCosts
 from repro.kernels.registry import cached_kernels
@@ -53,16 +54,20 @@ def measure_table4(
     kernels = cached_kernels(modulus)
     rng = random.Random(seed)
     table = Table4(modulus=modulus)
-    for operation in TABLE4_OPERATIONS:
-        row: dict[str, int] = {}
-        for variant in ALL_VARIANTS:
-            kernel = kernels[f"{operation}.{variant}"]
-            runner = KernelRunner(kernel, pipeline_config=pipeline_config)
-            cycles = 0
-            for _ in range(max(verify_samples, 1)):
-                cycles = runner.run(*kernel.sampler(rng)).cycles
-            row[variant] = cycles
-        table.cycles[operation] = row
+    with telemetry.span("table4"):
+        for operation in TABLE4_OPERATIONS:
+            row: dict[str, int] = {}
+            for variant in ALL_VARIANTS:
+                kernel = kernels[f"{operation}.{variant}"]
+                runner = KernelRunner(
+                    kernel, pipeline_config=pipeline_config)
+                cycles = 0
+                with telemetry.span("measure", operation=operation,
+                                    variant=variant):
+                    for _ in range(max(verify_samples, 1)):
+                        cycles = runner.run(*kernel.sampler(rng)).cycles
+                row[variant] = cycles
+            table.cycles[operation] = row
     return table
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from repro import telemetry
 from repro.core.ise import FULL_RADIX_ISA, REDUCED_RADIX_ISA
 from repro.errors import KernelError
 from repro.kernels import fullradix, reducedradix
@@ -289,7 +290,11 @@ def cached_kernels(modulus: int) -> dict[str, Kernel]:
     return build_all_kernels(modulus)
 
 
-@lru_cache(maxsize=256)
+_RUNNER_POOL: dict[
+    tuple[int, str, PipelineConfig], KernelRunner
+] = {}
+
+
 def cached_runner(
     modulus: int,
     name: str,
@@ -304,10 +309,28 @@ def cached_runner(
     assembly again.  Runs are self-contained (reset, plant operands,
     execute, read result), so interleaved use at run granularity is safe
     in a single-threaded process.
+
+    Pool traffic is observable: telemetry counts hits and misses
+    (``runner_pool_hits_total`` / ``runner_pool_misses_total``) and
+    tracks the pool size, so a workload that keeps re-assembling
+    kernels shows up immediately in ``repro profile`` output.
     """
+    key = (modulus, name, pipeline_config)
+    runner = _RUNNER_POOL.get(key)
+    if runner is not None:
+        telemetry.record_pool_access(True, len(_RUNNER_POOL))
+        return runner
     kernel = cached_kernels(modulus).get(name)
     if kernel is None:
         raise KernelError(
             f"no kernel {name!r} generated for modulus {modulus:#x}"
         )
-    return KernelRunner(kernel, pipeline_config=pipeline_config)
+    runner = KernelRunner(kernel, pipeline_config=pipeline_config)
+    _RUNNER_POOL[key] = runner
+    telemetry.record_pool_access(False, len(_RUNNER_POOL))
+    return runner
+
+
+def clear_runner_pool() -> None:
+    """Drop every pooled runner (tests and memory-pressure hook)."""
+    _RUNNER_POOL.clear()

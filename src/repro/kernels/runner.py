@@ -20,8 +20,10 @@ bit-identical limbs and the identical cycle count
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.errors import KernelError
 from repro.kernels.layout import (
     ARG_A_ADDR,
@@ -55,6 +57,11 @@ class KernelRun:
 _ARG_ADDRESSES = (ARG_A_ADDR, ARG_B_ADDR)
 _ARG_REGISTERS = ("a1", "a2")
 _ZERO_REGS = [0] * NUM_REGISTERS
+
+#: Seed for the deterministic sample operands used when a kernel's
+#: cycle count cannot be read off a compiled trace (cache-enabled
+#: timing): every caller measures the same, reproducible execution.
+STATIC_SAMPLE_SEED = 0
 
 
 class KernelRunner:
@@ -171,6 +178,7 @@ class KernelRunner:
         if check:
             expected = kernel.reference(*values)
             if value != expected:
+                telemetry.record_kernel_check_failure(kernel.name)
                 raise KernelError(
                     f"{kernel.name} produced {value:#x}, "
                     f"expected {expected:#x} for inputs "
@@ -182,6 +190,12 @@ class KernelRunner:
                 f"{kernel.name}: execution produced no cycle count "
                 f"(the runner's machine lost its pipeline model)"
             )
+        # result.engine reports the engine that actually ran (a replay
+        # request can fall back, e.g. when a profiler hook is attached)
+        telemetry.record_kernel_run(
+            kernel.name, result.engine, result.cycles,
+            result.instructions_retired,
+        )
         return KernelRun(
             value=value,
             limbs=out_limbs,
@@ -206,10 +220,8 @@ class KernelRunner:
         trace = self.machine._trace_for(self.entry)
         if trace is not None and trace.cycles is not None:
             return trace.cycles
-        import random
-
-        return self.run(*self.kernel.sampler(random.Random(0)),
-                        check=False).cycles
+        sample = self.kernel.sampler(random.Random(STATIC_SAMPLE_SEED))
+        return self.run(*sample, check=False).cycles
 
 
 def run_kernel(

@@ -14,9 +14,11 @@ limit is exceeded (guarding against runaway programs).
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator
 
+from repro import telemetry
 from repro.errors import SimulationError
 from repro.rv64.assembler import AssembledProgram
 from repro.rv64.isa import BASE_ISA, Instruction, InstructionSet
@@ -35,11 +37,20 @@ TraceHook = Callable[["MachineState", Instruction], None]
 
 @dataclass
 class ExecutionResult:
-    """Summary of one :meth:`Machine.run` invocation."""
+    """Summary of one :meth:`Machine.run` invocation.
+
+    ``engine`` names the execution engine that *actually* ran —
+    ``"interpreter"`` or ``"replay"`` — which matters because a
+    ``replay=True`` request silently falls back to the interpreter
+    when exactness cannot be guaranteed (trace hooks attached,
+    non-replayable program, ``setup_return=False``).  Telemetry and
+    profiling must consume this field rather than echo the request.
+    """
 
     instructions_retired: int
     cycles: int | None
     histogram: Counter[str] = field(default_factory=Counter)
+    engine: str = "interpreter"
 
     @property
     def cpi(self) -> float:
@@ -117,7 +128,27 @@ class Machine:
         return low, high - low + 4
 
     def add_trace_hook(self, hook: TraceHook) -> None:
+        """Register *hook* to observe every retired instruction.
+
+        While any hook is attached, ``run(replay=True)`` falls back to
+        the interpreter: replay skips per-instruction dispatch, so it
+        cannot deliver per-instruction callbacks.
+        """
         self._trace_hooks.append(hook)
+
+    def remove_trace_hook(self, hook: TraceHook) -> None:
+        """Detach a hook added with :meth:`add_trace_hook`."""
+        self._trace_hooks.remove(hook)
+
+    @contextmanager
+    def trace_hook(self, hook: TraceHook) -> Iterator[TraceHook]:
+        """Scoped hook attachment: detached on block exit even if the
+        run raises (the recommended profiling idiom)."""
+        self.add_trace_hook(hook)
+        try:
+            yield hook
+        finally:
+            self.remove_trace_hook(hook)
 
     # -- convenience register/memory access ---------------------------------
 
@@ -166,10 +197,16 @@ class Machine:
         internal control flow, trace hooks, cache-enabled timing —
         silently fall back to the interpreter.
         """
-        if replay and setup_return and not self._trace_hooks:
-            trace = self._trace_for(entry)
-            if trace is not None:
-                return self._replay(trace, stack_top)
+        if replay:
+            if self._trace_hooks:
+                telemetry.record_replay_fallback("trace_hooks")
+            elif not setup_return:
+                telemetry.record_replay_fallback("no_setup_return")
+            else:
+                trace = self._trace_for(entry)
+                if trace is not None:
+                    return self._replay(trace, stack_top)
+                telemetry.record_replay_fallback("not_replayable")
         state = self.state
         if setup_return:
             state.regs.write("ra", HALT_ADDRESS)
@@ -222,10 +259,12 @@ class Machine:
                     f"step limit {limit} exceeded at pc {state.pc:#x}"
                 )
 
+        telemetry.record_machine_run("interpreter")
         return ExecutionResult(
             instructions_retired=retired,
             cycles=pipeline.cycles if pipeline else None,
             histogram=Counter(self._histogram),
+            engine="interpreter",
         )
 
     # -- trace replay --------------------------------------------------------
@@ -238,9 +277,11 @@ class Machine:
 
             try:
                 trace = compile_trace(self, entry)
-            except ReplayError:
+            except ReplayError as exc:
+                telemetry.record_trace_reject(exc.reason)
                 self._replay_rejected.add(entry)
                 return None
+            telemetry.record_trace_compile()
             self._trace_cache[entry] = trace
         return trace
 
@@ -258,6 +299,7 @@ class Machine:
             step()
         state.pc = trace.exit_pc
         state.halted = trace.halts
+        telemetry.record_machine_run("replay")
         return ExecutionResult(
             instructions_retired=trace.instructions_retired,
             cycles=trace.cycles,
@@ -266,4 +308,5 @@ class Machine:
                 if self.collect_histogram
                 else Counter()
             ),
+            engine="replay",
         )

@@ -71,7 +71,16 @@ CompilerFn = Callable[["MachineState", Instruction, int], TraceStep | None]
 
 
 class ReplayError(SimulationError):
-    """The program cannot be compiled to an exact replay trace."""
+    """The program cannot be compiled to an exact replay trace.
+
+    ``reason`` is a short machine-readable code (``control_flow``,
+    ``ra_write``, ``cache_timing``, ``unmapped``, ``step_limit``) used
+    by telemetry's ``trace_rejects_total{reason=...}`` counter.
+    """
+
+    def __init__(self, message: str, *, reason: str = "other") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 @dataclass(frozen=True)
@@ -330,7 +339,8 @@ def _static_cycles(
     if config.icache is not None or config.dcache is not None:
         raise ReplayError(
             "cache timing is history-dependent; replay cannot "
-            "precompute a static cycle count"
+            "precompute a static cycle count",
+            reason="cache_timing",
         )
     model = PipelineModel(config)
     for pc, ins, spec in sequence:
@@ -354,22 +364,26 @@ def compile_trace(machine: Machine, entry: int) -> CompiledTrace:
         if pair is None:
             raise ReplayError(
                 f"straight-line walk fell off the program image at "
-                f"{pc:#x}"
+                f"{pc:#x}",
+                reason="unmapped",
             )
         ins, spec = pair
         sequence.append((pc, ins, spec))
         if len(sequence) > limit:
-            raise ReplayError(f"trace exceeds step limit {limit}")
+            raise ReplayError(f"trace exceeds step limit {limit}",
+                              reason="step_limit")
         if _is_terminal_ret(ins) or ins.mnemonic == "ebreak":
             break  # retired by the interpreter too, then execution halts
         if spec.kind in (KIND_BRANCH, KIND_JUMP):
             raise ReplayError(
                 f"control flow at {pc:#x} ({ins.mnemonic}): not "
-                f"straight-line code"
+                f"straight-line code",
+                reason="control_flow",
             )
         if spec.writes_rd and ins.rd == 1:
             raise ReplayError(
-                f"write to ra at {pc:#x} would redirect the final ret"
+                f"write to ra at {pc:#x} would redirect the final ret",
+                reason="ra_write",
             )
         pc += 4
 

@@ -65,7 +65,20 @@ class Profiler:
         profile.total += 1
 
     def attach(self, machine: Machine) -> "Profiler":
+        """Attach to *machine*.
+
+        Note: while attached, the machine serves every run — including
+        ``run(replay=True)`` requests — through the **interpreter**,
+        because replay skips the per-instruction dispatch this hook
+        needs.  ``ExecutionResult.engine`` reports which engine
+        actually ran; detach to restore the replay fast path.
+        """
         machine.add_trace_hook(self.hook)
+        return self
+
+    def detach(self, machine: Machine) -> "Profiler":
+        """Stop observing *machine* (re-enables its replay path)."""
+        machine.remove_trace_hook(self.hook)
         return self
 
     def reset(self) -> None:
@@ -76,9 +89,9 @@ def profile_machine_run(
     machine: Machine, entry: int, **run_kwargs
 ) -> ExecutionProfile:
     """Run *machine* from *entry* with a profiler attached."""
-    profiler = Profiler(machine.isa).attach(machine)
-    machine.run(entry, **run_kwargs)
-    machine._trace_hooks.remove(profiler.hook)
+    profiler = Profiler(machine.isa)
+    with machine.trace_hook(profiler.hook):
+        machine.run(entry, **run_kwargs)
     return profiler.profile
 
 

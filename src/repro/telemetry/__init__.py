@@ -1,0 +1,210 @@
+"""Telemetry: hierarchical cycle-attribution spans + a metrics registry.
+
+The observability layer behind ``repro profile`` and the
+``--telemetry`` CLI flags (see ``docs/OBSERVABILITY.md``).  Three
+pieces:
+
+* :mod:`repro.telemetry.metrics` — counters, gauges and histograms
+  with labels, collected in a :class:`MetricsRegistry`;
+* :mod:`repro.telemetry.spans` — a :class:`Tracer` recording a tree of
+  spans that accumulate wall-clock seconds and *simulated cycles*, so
+  an instrumented protocol run decomposes exactly like the paper's
+  Table 4 (protocol -> curve ops -> isogenies -> kernels);
+* :mod:`repro.telemetry.export` — JSON / JSONL / Prometheus-text
+  exporters and the ``BENCH_*.json`` perf-trajectory artifact.
+
+This module owns the **process-global instances** (:data:`TRACER`,
+:data:`REGISTRY`) plus the module-level helpers the rest of the
+codebase calls.  Everything is **disabled by default**: ``span()``
+hands out a shared no-op context manager and every ``record_*`` helper
+returns after one boolean test, so instrumentation on the kernel-run
+hot path costs nanoseconds until :func:`enable` (or :func:`capture`)
+turns recording on.  Private :class:`Tracer` / :class:`MetricsRegistry`
+instances remain plain constructible objects for tests and embedders.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryError,
+)
+from repro.telemetry.spans import SpanNode, Tracer, render_span_tree
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "SpanNode", "Tracer", "TelemetryError",
+    "TRACER", "REGISTRY",
+    "enabled", "enable", "disable", "reset", "capture", "span",
+    "add_cycles", "render_span_tree",
+    "record_kernel_run", "record_kernel_check_failure",
+    "record_pool_access", "record_machine_run",
+    "record_replay_fallback", "record_trace_compile",
+    "record_trace_reject",
+]
+
+#: Process-global span recorder (disabled until :func:`enable`).
+TRACER = Tracer()
+
+#: Process-global metrics registry fed by the built-in instrumentation.
+REGISTRY = MetricsRegistry()
+
+
+def enabled() -> bool:
+    """Whether telemetry recording is currently on."""
+    return TRACER.enabled
+
+
+def enable() -> None:
+    """Turn recording on (spans and metrics)."""
+    TRACER.enabled = True
+
+
+def disable() -> None:
+    """Turn recording off (recorded data is kept)."""
+    TRACER.enabled = False
+
+
+def reset() -> None:
+    """Drop all recorded spans and metrics."""
+    TRACER.reset()
+    REGISTRY.reset()
+
+
+def span(name: str, **labels: object):
+    """Open a span under the current one (no-op while disabled)."""
+    return TRACER.span(name, **labels)
+
+
+def add_cycles(cycles: int) -> None:
+    """Attribute simulated cycles to the innermost open span."""
+    TRACER.add_cycles(cycles)
+
+
+@dataclass(frozen=True)
+class Capture:
+    """Handle to the telemetry state recorded by :func:`capture`."""
+
+    tracer: Tracer
+    registry: MetricsRegistry
+
+    @property
+    def root(self) -> SpanNode:
+        return self.tracer.root
+
+
+@contextmanager
+def capture(*, fresh: bool = True) -> Iterator[Capture]:
+    """Enable telemetry for a ``with`` block.
+
+    With ``fresh`` (the default) the block records into **private**
+    :class:`Tracer` / :class:`MetricsRegistry` instances installed as
+    the process globals for the block's duration, so the capture holds
+    exactly the block's activity and the returned :class:`Capture`
+    stays readable after later :func:`reset` calls.  With
+    ``fresh=False`` the block records into the existing global state
+    (accumulating across captures).  The prior globals and
+    enabled/disabled flag are restored on exit.
+    """
+    global TRACER, REGISTRY
+    if fresh:
+        tracer, registry = Tracer(), MetricsRegistry()
+    else:
+        tracer, registry = TRACER, REGISTRY
+    prior_tracer, prior_registry = TRACER, REGISTRY
+    prior_enabled = tracer.enabled
+    TRACER, REGISTRY = tracer, registry
+    tracer.enabled = True
+    try:
+        yield Capture(tracer, registry)
+    finally:
+        tracer.enabled = prior_enabled
+        TRACER, REGISTRY = prior_tracer, prior_registry
+
+
+# ---------------------------------------------------------------------------
+# Instrumentation helpers (called from the hot paths; each starts with
+# the disabled-fast-path test and must stay call-overhead cheap)
+# ---------------------------------------------------------------------------
+
+
+def record_kernel_run(
+    kernel: str, engine: str, cycles: int, instructions: int
+) -> None:
+    """One :class:`~repro.kernels.runner.KernelRunner` execution."""
+    if not TRACER.enabled:
+        return
+    TRACER._stack[-1].self_cycles += cycles
+    REGISTRY.counter(
+        "kernel_runs_total", "kernel executions by engine"
+    ).inc(kernel=kernel, engine=engine)
+    REGISTRY.counter(
+        "kernel_cycles_total", "simulated cycles per kernel"
+    ).inc(cycles, kernel=kernel)
+    REGISTRY.counter(
+        "kernel_instructions_total", "retired instructions per kernel"
+    ).inc(instructions, kernel=kernel)
+
+
+def record_kernel_check_failure(kernel: str) -> None:
+    """A golden-reference verification failure in a kernel run."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "kernel_check_failures_total",
+        "golden-reference mismatches",
+    ).inc(kernel=kernel)
+
+
+def record_pool_access(hit: bool, size: int) -> None:
+    """One :func:`~repro.kernels.registry.cached_runner` lookup."""
+    if not TRACER.enabled:
+        return
+    name = ("runner_pool_hits_total" if hit
+            else "runner_pool_misses_total")
+    REGISTRY.counter(name, "runner pool lookups").inc()
+    REGISTRY.gauge("runner_pool_size", "pooled runners").set(size)
+
+
+def record_machine_run(engine: str) -> None:
+    """One :meth:`Machine.run`, labeled by the engine that ran."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "machine_runs_total", "Machine.run calls by engine"
+    ).inc(engine=engine)
+
+
+def record_replay_fallback(reason: str) -> None:
+    """A requested replay that fell back to the interpreter."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "replay_fallback_total",
+        "replay requests served by the interpreter",
+    ).inc(reason=reason)
+
+
+def record_trace_compile() -> None:
+    """A successful replay-trace compilation."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "trace_compiles_total", "replay traces compiled"
+    ).inc()
+
+
+def record_trace_reject(reason: str) -> None:
+    """A replay-trace compilation refusal, by reason."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "trace_rejects_total", "replay compilation refusals"
+    ).inc(reason=reason)

@@ -1,0 +1,217 @@
+"""Instrumented workloads: run a protocol phase under full telemetry.
+
+:func:`profile_group_action` is the canonical workload behind
+``repro profile`` and ``repro action --telemetry``: it executes a real
+group action with every field operation on the RV64 simulator
+(:class:`~repro.field.simulated.SimulatedFieldContext`), with spans
+open across every protocol phase, and returns the cycle-attribution
+tree plus the flat metrics.  The invariant that makes the output
+trustworthy — checked here, not just asserted in tests — is that the
+span tree's grand total equals the field context's independently
+accumulated ``simulated_cycles``: every simulated cycle is attributed
+to exactly one phase.
+
+This module sits *above* the instrumented layers (it imports csidh and
+field code), so it is deliberately not re-exported from
+:mod:`repro.telemetry` — import it directly.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.csidh.group_action import ActionStats, group_action
+from repro.csidh.parameters import CsidhParameters
+from repro.errors import ReproError
+from repro.field.counters import OpCounter
+from repro.field.simulated import SimulatedFieldContext
+from repro.telemetry.export import to_json_document
+from repro.telemetry.spans import SpanNode, render_span_tree
+
+#: Moduli wider than this are refused for fully simulated profiling —
+#: a CSIDH-512 group action is ~500 M simulated instructions, days of
+#: Python time.  (The toy and mini parameter sets are far below it.)
+MAX_SIMULATED_BITS = 160
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """Everything one instrumented group action produced."""
+
+    params: CsidhParameters
+    variant: str
+    exponents: tuple[int, ...]
+    root: SpanNode                      # captured span tree (synthetic root)
+    registry: telemetry.MetricsRegistry
+    simulated_cycles: int
+    simulated_instructions: int
+    ops: OpCounter
+    stats: ActionStats
+    wall_s: float
+    coefficient: int
+
+    @property
+    def action_node(self) -> SpanNode:
+        node = self.root.find("group_action")
+        if node is None:  # pragma: no cover - capture always creates it
+            raise ReproError("no group_action span recorded")
+        return node
+
+    def hot_kernels(self, top: int = 8) -> list[tuple[str, int, int]]:
+        """``(kernel, cycles, runs)`` ranked by attributed cycles."""
+        cycles = self.registry.counter("kernel_cycles_total")
+        runs = self.registry.counter("kernel_runs_total")
+        per_kernel_runs: dict[str, int] = {}
+        for key, child in runs.children():
+            labels = dict(key)
+            name = labels.get("kernel", "?")
+            per_kernel_runs[name] = (
+                per_kernel_runs.get(name, 0) + child.value
+            )
+        ranked = sorted(
+            ((dict(key).get("kernel", "?"), child.value)
+             for key, child in cycles.children()),
+            key=lambda item: -item[1],
+        )
+        return [(name, cy, per_kernel_runs.get(name, 0))
+                for name, cy in ranked[:top]]
+
+    def workload_dict(self) -> dict:
+        """Summary of the profiled workload (for the JSON export)."""
+        return {
+            "kind": "group_action",
+            "params": self.params.name,
+            "variant": self.variant,
+            "exponents": list(self.exponents),
+            "simulated_cycles": self.simulated_cycles,
+            "simulated_instructions": self.simulated_instructions,
+            "wall_s": self.wall_s,
+            "isogenies": self.stats.isogenies,
+            "rounds": self.stats.rounds,
+            "field_ops": {
+                "mul": self.ops.mul, "sqr": self.ops.sqr,
+                "add": self.ops.add, "sub": self.ops.sub,
+            },
+        }
+
+    def to_document(self) -> dict:
+        """The JSON export document (spans + metrics + summary)."""
+        return to_json_document(self.root, self.registry, extra={
+            "workload": self.workload_dict(),
+        })
+
+    def bench_record(self) -> dict:
+        """Flat summary for the ``BENCH_protocol.json`` trajectory."""
+        return {
+            "params": self.params.name,
+            "variant": self.variant,
+            "wall_s": self.wall_s,
+            "simulated_cycles": self.simulated_cycles,
+            "simulated_instructions": self.simulated_instructions,
+            "isogenies": self.stats.isogenies,
+            "kernel_runs": self.registry.counter(
+                "kernel_runs_total").total(),
+            "cycles_by_phase": {
+                child.label: child.total_cycles
+                for child in self.action_node.children.values()
+            },
+            "hot_kernels": {
+                name: cycles
+                for name, cycles, _ in self.hot_kernels(top=5)
+            },
+        }
+
+
+def profile_group_action(
+    params: CsidhParameters,
+    *,
+    variant: str = "reduced.ise",
+    seed: int = 3,
+    exponents: tuple[int, ...] | None = None,
+    cross_check: bool = False,
+) -> ProfileResult:
+    """Run one fully simulated group action under telemetry capture."""
+    if params.p.bit_length() > MAX_SIMULATED_BITS:
+        raise ReproError(
+            f"{params.name}: a {params.p.bit_length()}-bit modulus is "
+            f"infeasible to profile on the Python simulator (limit "
+            f"{MAX_SIMULATED_BITS} bits); use --params toy or mini"
+        )
+    rng = random.Random(seed)
+    if exponents is None:
+        exponents = params.sample_private_key(rng)
+    # construct (and pool) the runners outside the capture so one-time
+    # assembly/trace-compilation cost does not pollute the span tree
+    field = SimulatedFieldContext(params.p, variant=variant,
+                                  cross_check=cross_check)
+    stats = ActionStats()
+    with telemetry.capture() as cap:
+        start = time.perf_counter()
+        coefficient = group_action(
+            params, field, 0, exponents, rng, stats=stats)
+        wall_s = time.perf_counter() - start
+    result = ProfileResult(
+        params=params,
+        variant=variant,
+        exponents=tuple(exponents),
+        root=cap.root,
+        registry=cap.registry,
+        simulated_cycles=field.simulated_cycles,
+        simulated_instructions=field.simulated_instructions,
+        ops=field.counter.copy(),
+        stats=stats,
+        wall_s=wall_s,
+        coefficient=coefficient,
+    )
+    attributed = result.action_node.total_cycles
+    if attributed != field.simulated_cycles:
+        raise ReproError(
+            f"cycle attribution leak: span tree holds {attributed} "
+            f"cycles, field context measured {field.simulated_cycles}"
+        )
+    return result
+
+
+def render_profile(result: ProfileResult, *, top: int = 8) -> str:
+    """Human-readable profile: span tree, hot kernels, engine mix."""
+    lines = [
+        f"profiled group action: params={result.params.name} "
+        f"variant={result.variant} "
+        f"isogenies={result.stats.isogenies} "
+        f"wall={result.wall_s:.3f}s",
+        f"simulated: {result.simulated_cycles:,d} cycles / "
+        f"{result.simulated_instructions:,d} instructions",
+        "",
+        render_span_tree(result.root),
+        "",
+        f"hot kernels (top {top}):",
+    ]
+    total = max(result.simulated_cycles, 1)
+    for name, cycles, runs in result.hot_kernels(top=top):
+        lines.append(
+            f"  {name:24s}{cycles:>14,d} cy "
+            f"{100.0 * cycles / total:6.1f}%  x{runs}"
+        )
+    engines = result.registry.counter("machine_runs_total")
+    mix = ", ".join(
+        f"{dict(key).get('engine', '?')}={child.value}"
+        for key, child in sorted(engines.children())
+    )
+    if mix:
+        lines.append(f"engine mix: {mix}")
+    fallbacks = result.registry.counter("replay_fallback_total")
+    if fallbacks.total():
+        reasons = ", ".join(
+            f"{dict(key).get('reason', '?')}={child.value}"
+            for key, child in sorted(fallbacks.children())
+        )
+        lines.append(f"replay fallbacks: {reasons}")
+    hits = result.registry.counter("runner_pool_hits_total").total()
+    misses = result.registry.counter(
+        "runner_pool_misses_total").total()
+    if hits or misses:
+        lines.append(f"runner pool: {hits} hits, {misses} misses")
+    return "\n".join(lines)

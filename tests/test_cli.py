@@ -60,3 +60,101 @@ class TestCommands:
         assert "# Reproduction report" in text
         assert "## Table 4" in text
         assert "Critical path" in text
+
+
+class TestTelemetryFlags:
+    """The observability surfaces: ``profile`` and ``--telemetry``."""
+
+    def test_profile_toy_prints_span_tree(self, capsys):
+        assert main(["profile", "--params", "toy"]) == 0
+        out = capsys.readouterr().out
+        assert "group_action" in out
+        assert "isogeny[degree=" in out
+        assert "hot kernels" in out
+        assert "engine mix: replay=" in out
+
+    def test_profile_exports_and_bench(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "telemetry.json"
+        bench = tmp_path / "BENCH_protocol.json"
+        assert main(["profile", "--params", "toy",
+                     "-o", str(out), "--bench-out", str(bench)]) == 0
+        document = json.loads(out.read_text())
+        assert document["spans"]["name"] == "root"
+        assert document["workload"]["kind"] == "group_action"
+        trajectory = json.loads(bench.read_text())
+        assert trajectory["benchmark"] == "protocol"
+        (run,) = trajectory["runs"]
+        assert run["simulated_cycles"] \
+            == document["workload"]["simulated_cycles"]
+
+    def test_profile_csidh512_refused(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="infeasible"):
+            main(["profile", "--params", "csidh-512"])
+
+    def test_action_telemetry_cycle_sum_invariant(self, tmp_path,
+                                                  capsys):
+        """The acceptance criterion: the exported span tree's per-phase
+        simulated cycles sum to the reported group-action total, with
+        per-isogeny-degree and per-kernel attribution."""
+        import json
+
+        out = tmp_path / "out.json"
+        assert main(["action", "--params", "toy",
+                     "--telemetry", str(out)]) == 0
+        document = json.loads(out.read_text())
+        total = document["workload"]["simulated_cycles"]
+
+        def find(node, name):
+            if node["name"] == name:
+                return node
+            for child in node["children"]:
+                found = find(child, name)
+                if found is not None:
+                    return found
+            return None
+
+        action = find(document["spans"], "group_action")
+        assert action is not None
+        assert action["total_cycles"] == total
+        phase_sum = sum(child["total_cycles"]
+                        for child in action["children"])
+        assert phase_sum + action["self_cycles"] == total
+        degrees = {child["labels"]["degree"]
+                   for child in action["children"]
+                   if child["name"] == "isogeny"}
+        assert degrees  # per-degree attribution present
+        kernel_cycles = document["metrics"]["kernel_cycles_total"]
+        assert sum(entry["value"] for entry in kernel_cycles) == total
+        assert any("fp_mul" in entry["labels"]["kernel"]
+                   for entry in kernel_cycles)
+
+    def test_table4_telemetry_jsonl_round_trip(self, tmp_path,
+                                               capsys):
+        from repro.telemetry.export import read_jsonl
+
+        out = tmp_path / "table4.jsonl"
+        assert main(["table4", "--params", "toy",
+                     "--telemetry", str(out)]) == 0
+        root = read_jsonl(str(out))
+        table4 = root.find("table4")
+        assert table4 is not None
+        measures = [node for node in table4.walk()
+                    if node.name == "measure"]
+        assert len(measures) == 32  # 8 operations x 4 variants
+        assert table4.total_cycles > 0
+
+    def test_report_telemetry_export(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "report.json"
+        target = tmp_path / "report.md"
+        assert main(["report", "--keys", "1", "-o", str(target),
+                     "--telemetry", str(out)]) == 0
+        document = json.loads(out.read_text())
+        names = {child["name"]
+                 for child in document["spans"]["children"]}
+        assert "table4" in names

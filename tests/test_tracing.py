@@ -92,6 +92,58 @@ class TestProfiler:
         assert fraction > 0.5
 
 
+class TestTraceHookEngine:
+    """Attached trace hooks force the interpreter path — the documented
+    contract of `Machine.add_trace_hook` — and `ExecutionResult.engine`
+    reports which engine actually ran."""
+
+    SOURCE = "add a0, a1, a2\nadd a0, a0, a2\nret"
+
+    def test_replay_runs_without_hooks(self):
+        machine, entry = _machine(self.SOURCE)
+        assert machine.run(entry, replay=True).engine == "replay"
+
+    def test_attached_profiler_forces_interpreter(self):
+        machine, entry = _machine(self.SOURCE)
+        profiler = Profiler(BASE_ISA).attach(machine)
+        result = machine.run(entry, replay=True)
+        assert result.engine == "interpreter"
+        assert profiler.profile.total == 3  # the hook actually fired
+
+    def test_detach_restores_replay(self):
+        machine, entry = _machine(self.SOURCE)
+        profiler = Profiler(BASE_ISA).attach(machine)
+        assert machine.run(entry, replay=True).engine == "interpreter"
+        profiler.detach(machine)
+        assert machine.run(entry, replay=True).engine == "replay"
+
+    def test_trace_hook_context_manager_detaches_on_error(self):
+        machine, entry = _machine(self.SOURCE)
+        with pytest.raises(RuntimeError):
+            with machine.trace_hook(lambda state, ins: None):
+                raise RuntimeError("boom")
+        assert machine.run(entry, replay=True).engine == "replay"
+
+    def test_profile_machine_run_leaves_no_hook(self):
+        machine, entry = _machine(self.SOURCE)
+        profile_machine_run(machine, entry)
+        assert machine.run(entry, replay=True).engine == "replay"
+
+    def test_telemetry_records_fallback_and_engine(self):
+        from repro import telemetry
+
+        machine, entry = _machine(self.SOURCE)
+        machine.add_trace_hook(lambda state, ins: None)
+        with telemetry.capture() as cap:
+            result = machine.run(entry, replay=True)
+        assert result.engine == "interpreter"
+        fallbacks = cap.registry.counter("replay_fallback_total")
+        assert fallbacks.value(reason="trace_hooks") == 1
+        engines = cap.registry.counter("machine_runs_total")
+        assert engines.value(engine="interpreter") == 1
+        assert engines.value(engine="replay") == 0
+
+
 class TestTimingModel:
     def test_base_stage_meets_50mhz(self):
         assert base_multiplier_stage().meets(TARGET_CLOCK_NS)
