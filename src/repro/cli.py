@@ -10,11 +10,18 @@ Commands:
 * ``kernel`` — dump one generated kernel's assembly;
 * ``listings`` — print the MAC listings with instruction counts;
 * ``profile`` — run an instrumented group action and print the
-  cycle-attribution span tree (see ``docs/OBSERVABILITY.md``).
+  cycle-attribution span tree (see ``docs/OBSERVABILITY.md``);
+* ``faults`` — run a seeded fault-injection campaign against the
+  hardened execution layer and print/export the detection-coverage
+  report (see ``docs/ROBUSTNESS.md``); exits 1 if any fault escaped.
 
 ``action``, ``table4`` and ``report`` additionally accept
 ``--telemetry PATH`` to export spans and metrics (JSON, or JSONL when
 the path ends in ``.jsonl``).
+
+Any :class:`~repro.errors.ReproError` surfaces as a one-line
+``error [<code>]: ...`` message on stderr and exit status 2 — never a
+traceback.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import argparse
 import sys
 
 from repro.csidh.parameters import csidh_512, csidh_mini, csidh_toy
+from repro.errors import KernelError, ParameterError, ReproError
 
 _PARAM_SETS = {
     "csidh-512": csidh_512,
@@ -134,11 +142,9 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
 
     kernels = cached_kernels(_PARAM_SETS[args.params]().p)
     if args.name not in kernels:
-        print(f"unknown kernel {args.name!r}; available:",
-              file=sys.stderr)
-        for name in sorted(kernels):
-            print(f"  {name}", file=sys.stderr)
-        return 1
+        raise KernelError(
+            f"unknown kernel {args.name!r}; available: "
+            + ", ".join(sorted(kernels)))
     kernel = kernels[args.name]
     print(kernel.source)
     total = sum(kernel.static_counts.values())
@@ -200,6 +206,59 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                     result.bench_record())
         print(f"benchmark trajectory appended to {args.bench_out}")
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.fault import ALL_SITES, run_campaign
+    from repro.fault.campaign import OUTCOMES
+    from repro.telemetry.profile import MAX_SIMULATED_BITS
+
+    if args.n < 1:
+        raise ParameterError(
+            f"--n must be at least 1 (got {args.n}); it is the number "
+            f"of faults to inject")
+    if args.check_interval < 1:
+        raise ParameterError(
+            f"--check-interval must be at least 1 (got "
+            f"{args.check_interval})")
+    if args.quiet and not args.json:
+        raise ParameterError(
+            "--quiet without --json would produce no output at all; "
+            "add --json PATH or drop --quiet")
+    params = _PARAM_SETS[args.params]()
+    if params.p.bit_length() > MAX_SIMULATED_BITS:
+        raise ParameterError(
+            f"a {params.p.bit_length()}-bit campaign on the functional "
+            f"simulator is infeasible; use --params toy or mini")
+    sites = (tuple(s.strip() for s in args.sites.split(","))
+             if args.sites else ALL_SITES)
+
+    report = run_campaign(
+        params.p, seed=args.seed, n=args.n, variant=args.variant,
+        sites=sites, check_interval=args.check_interval,
+    )
+
+    if not args.quiet:
+        width = max(len(site) for site in report.by_site)
+        header = f"{'site':<{width}}  " + "  ".join(
+            f"{outcome:>20}" for outcome in OUTCOMES)
+        print(f"fault campaign: params={params.name} seed={report.seed} "
+              f"n={report.n} variant={report.variant}")
+        print(header)
+        for site, row in sorted(report.by_site.items()):
+            print(f"{site:<{width}}  " + "  ".join(
+                f"{row[outcome]:>20}" for outcome in OUTCOMES))
+        print(f"detected {report.detected}/{report.n}, recovery rate "
+              f"{report.recovery_rate:.0%}, escaped {report.escaped}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        if not args.quiet:
+            print(f"campaign report written to {args.json}")
+    return 1 if report.escaped else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -268,6 +327,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "perf trajectory")
     p.set_defaults(func=_cmd_profile)
 
+    p = sub.add_parser(
+        "faults",
+        help="seeded fault-injection campaign with coverage report")
+    p.add_argument("--params", choices=sorted(_PARAM_SETS),
+                   default="toy")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--n", type=int, default=25,
+                   help="faults to inject")
+    p.add_argument("--variant", default="reduced.ise")
+    p.add_argument("--check-interval", type=int, default=1,
+                   help="verify one in N operations (campaign default "
+                        "1: every operation)")
+    p.add_argument("--sites", default=None,
+                   help="comma-separated fault sites (default: all)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full coverage report as JSON")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the table (requires --json)")
+    p.set_defaults(func=_cmd_faults)
+
     p = sub.add_parser("kernel", help="dump a generated kernel")
     p.add_argument("name", help="e.g. fp_mul.reduced.ise")
     p.add_argument("--params", choices=sorted(_PARAM_SETS),
@@ -305,6 +384,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ReproError as exc:
+        # one actionable line, never a traceback (tests/test_cli.py)
+        message = " ".join(str(exc).split())
+        print(f"error [{exc.code}]: {message}", file=sys.stderr)
+        return 2
     except BrokenPipeError:  # e.g. piped into `head`
         try:
             sys.stdout.close()

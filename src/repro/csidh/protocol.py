@@ -20,7 +20,7 @@ from repro import telemetry
 from repro.csidh.group_action import ActionStats, group_action
 from repro.csidh.parameters import CsidhParameters
 from repro.csidh.validate import is_supersingular
-from repro.errors import ProtocolError
+from repro.errors import FaultDetectedError, ProtocolError
 from repro.field.fp import FieldContext
 
 #: Coefficient of the starting curve ``E_0 : y^2 = x^3 + x``.
@@ -89,7 +89,17 @@ class PublicKey:
 
 
 class Csidh:
-    """One party's view of the CSIDH key exchange."""
+    """One party's view of the CSIDH key exchange.
+
+    ``verify_output=True`` enables the classic countermeasure against
+    fault attacks on isogeny walks (see ``docs/ROBUSTNESS.md``): every
+    computed curve — public key and shared secret alike — is validated
+    to be supersingular before it is released.  A group action skewed
+    by an injected fault lands on a wrong curve, which this check
+    rejects with :class:`~repro.errors.FaultDetectedError` instead of
+    leaking it to the peer (the leak is what makes CSIDH fault attacks
+    key-recovering).
+    """
 
     def __init__(
         self,
@@ -97,10 +107,26 @@ class Csidh:
         *,
         field: FieldContext | None = None,
         seed: int | None = None,
+        verify_output: bool = False,
     ) -> None:
         self.params = params
         self.field = field if field is not None else FieldContext(params.p)
+        self.verify_output = verify_output
         self._rng = random.Random(seed)
+
+    def _checked_output(self, coefficient: int, what: str) -> int:
+        if self.verify_output:
+            with telemetry.span("verify_output"):
+                valid = is_supersingular(
+                    self.params, self.field, coefficient, self._rng)
+            if not valid:
+                telemetry.record_fault_detected(what, "protocol")
+                raise FaultDetectedError(
+                    f"{what} is not a supersingular curve; the group "
+                    f"action was corrupted mid-walk (withholding the "
+                    f"result — releasing it would enable a "
+                    f"fault-attack on the private key)")
+        return coefficient
 
     # -- key management ------------------------------------------------------
 
@@ -116,7 +142,8 @@ class Csidh:
                 self.params, self.field, BASE_COEFFICIENT,
                 private.exponents, self._rng, stats=stats,
             )
-        return PublicKey(coefficient)
+        return PublicKey(self._checked_output(coefficient,
+                                              "public key"))
 
     def keygen(self) -> tuple[PrivateKey, PublicKey]:
         private = self.generate_private_key()
@@ -148,10 +175,11 @@ class Csidh:
                 if not valid:
                     raise ProtocolError(
                         "peer public key failed validation")
-            return group_action(
+            secret = group_action(
                 self.params, self.field, peer_a,
                 private.exponents, self._rng, stats=stats,
             )
+        return self._checked_output(secret, "shared secret")
 
 
 def derive_symmetric_key(

@@ -2,7 +2,13 @@
 
 Every subsystem raises exceptions derived from :class:`ReproError`, so
 callers can catch a single base class at the API boundary while tests can
-assert on the precise failure mode.
+assert on the precise failure mode.  Each class carries a stable,
+machine-readable ``code`` string — CLI error reporting, telemetry labels
+and the campaign report all key on ``code`` rather than on class names,
+so renames stay non-breaking.  ``tests/test_errors.py`` asserts that
+every exception defined anywhere in the package derives from
+:class:`ReproError` and has a unique code: new subsystems extend this
+hierarchy, they do not fork their own bases.
 """
 
 from __future__ import annotations
@@ -11,30 +17,80 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
+    #: Stable machine-readable identifier for this failure mode.
+    code = "repro"
+
 
 class EncodingError(ReproError):
     """An instruction could not be encoded or decoded."""
+
+    code = "encoding"
 
 
 class AssemblerError(ReproError):
     """Malformed assembly source (bad mnemonic, operand, or label)."""
 
+    code = "assembler"
+
 
 class SimulationError(ReproError):
     """The simulator reached an illegal state (bad fetch, trap, limits)."""
+
+    code = "simulation"
 
 
 class MemoryAccessError(SimulationError):
     """An out-of-range, misaligned, or otherwise invalid memory access."""
 
+    code = "memory_access"
+
 
 class KernelError(ReproError):
     """A generated assembly kernel was misused or failed verification."""
+
+    code = "kernel"
 
 
 class ParameterError(ReproError):
     """Invalid cryptographic or micro-architectural parameters."""
 
+    code = "parameter"
+
 
 class ProtocolError(ReproError):
     """A CSIDH protocol-level failure (invalid public key, etc.)."""
+
+    code = "protocol"
+
+
+class FaultError(ReproError):
+    """Misuse of the fault-injection subsystem (bad site, bad plan)."""
+
+    code = "fault"
+
+
+class FaultDetectedError(FaultError):
+    """A checked execution diverged from its pure-Python reference.
+
+    Raised by the ``checked`` mode of
+    :class:`~repro.kernels.runner.KernelRunner` /
+    :class:`~repro.field.simulated.SimulatedFieldContext` when a
+    sampled cross-validation observes a wrong value or an impossible
+    cycle count.  Catching it and re-executing on the interpreter is
+    the recovery protocol (see ``docs/ROBUSTNESS.md``).
+    """
+
+    code = "fault_detected"
+
+
+class RecoveryExhaustedError(FaultError):
+    """Bounded retry-with-fallback failed to restore a correct result.
+
+    After a :class:`FaultDetectedError` the hardened execution layer
+    evicts the poisoned runner, invalidates its replay trace and
+    re-executes on the interpreter; this error means every permitted
+    attempt still diverged from the reference — state corruption is not
+    transient, and the caller must treat the computation as lost.
+    """
+
+    code = "recovery_exhausted"

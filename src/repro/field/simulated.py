@@ -14,12 +14,25 @@ pass ``cross_check=True`` to route every operation through the full
 interpreter with per-run golden-reference verification instead — the
 slow, belt-and-braces mode for debugging new kernels or pipelines.
 
+``checked=True`` selects the production hardening mode in between
+(see ``docs/ROBUSTNESS.md``): execution stays on the fast replay path,
+but one in ``check_interval`` operations is cross-validated against a
+pure-Python :class:`~repro.field.fp.FieldContext` reference (and each
+runner additionally validates sampled kernel runs).  A divergence —
+a bit flip, a poisoned replay trace, a corrupted runner — raises
+:class:`~repro.errors.FaultDetectedError` and triggers *recovery*:
+the poisoned runner is evicted from the registry pool, its replay
+trace invalidated, and the operation re-executed on the interpreter
+from a freshly assembled runner, bounded by ``max_recovery_attempts``.
+If every attempt still diverges,
+:class:`~repro.errors.RecoveryExhaustedError` is raised.
+
 The kernels implement *Montgomery* multiplication (``a*b*R^-1``), while
 the :class:`FieldContext` API is plain modular arithmetic; the adapter
 hides the domain conversion by folding in ``R^2`` per multiplication
 (costing one extra kernel run — irrelevant for a functional check).
 
-Runners are pooled per (modulus, kernel, pipeline) via
+Runners are pooled per (modulus, kernel, pipeline, checked) via
 :func:`repro.kernels.registry.cached_runner`, so constructing many
 contexts — one per benchmark round, say — assembles and trace-compiles
 each kernel only once per process.
@@ -27,10 +40,16 @@ each kernel only once per process.
 
 from __future__ import annotations
 
+from repro import telemetry
+from repro.errors import (
+    FaultDetectedError,
+    RecoveryExhaustedError,
+    SimulationError,
+)
 from repro.field.counters import OpCounter
 from repro.field.fp import FieldContext
-from repro.kernels.registry import cached_runner
-from repro.kernels.runner import KernelRunner
+from repro.kernels import registry
+from repro.kernels.runner import DEFAULT_CHECK_INTERVAL, KernelRunner
 from repro.kernels.spec import (
     OP_FP_ADD,
     OP_FP_MUL,
@@ -38,6 +57,20 @@ from repro.kernels.spec import (
     OP_FP_SUB,
 )
 from repro.rv64.pipeline import PipelineConfig, ROCKET_CONFIG
+
+#: Default bound on interpreter re-executions after a detected fault.
+DEFAULT_RECOVERY_ATTEMPTS = 2
+
+
+class _CheckedConfig:
+    """Sampling and retry knobs of a hardened context."""
+
+    __slots__ = ("interval", "clock", "max_attempts")
+
+    def __init__(self, interval: int, max_attempts: int) -> None:
+        self.interval = max(1, int(interval))
+        self.clock = 0
+        self.max_attempts = max(1, int(max_attempts))
 
 
 class SimulatedFieldContext(FieldContext):
@@ -51,54 +84,184 @@ class SimulatedFieldContext(FieldContext):
         counter: OpCounter | None = None,
         pipeline_config: PipelineConfig = ROCKET_CONFIG,
         cross_check: bool = False,
+        checked: bool = False,
+        check_interval: int = DEFAULT_CHECK_INTERVAL,
+        max_recovery_attempts: int = DEFAULT_RECOVERY_ATTEMPTS,
     ) -> None:
         super().__init__(p, counter)
         self.variant = variant
         self.cross_check = cross_check
+        self._pipeline_config = pipeline_config
         # cross_check escapes to the interpreter and verifies every run
         # against the kernel's golden reference; the default replays
         # compiled traces (equivalence is covered by the differential
         # suite, so per-run re-verification would only re-prove it).
         self._replay = not cross_check
+        self._checked = (
+            _CheckedConfig(check_interval, max_recovery_attempts)
+            if checked else None
+        )
+        # pure-Python ground truth for sampled cross-validation and for
+        # deciding whether a recovery attempt actually recovered
+        self._reference = FieldContext(p) if checked else None
 
-        def runner(operation: str) -> KernelRunner:
-            return cached_runner(
-                p, f"{operation}.{variant}", pipeline_config
-            )
-
-        self._mul = runner(OP_FP_MUL)
-        self._sqr = runner(OP_FP_SQR)
-        self._add = runner(OP_FP_ADD)
-        self._sub = runner(OP_FP_SUB)
+        self._mul = self._pooled_runner(OP_FP_MUL)
+        self._sqr = self._pooled_runner(OP_FP_SQR)
+        self._add = self._pooled_runner(OP_FP_ADD)
+        self._sub = self._pooled_runner(OP_FP_SUB)
         ctx = self._mul.kernel.context
         self._r2 = ctx.r2_mod_p
         self.simulated_instructions = 0
         self.simulated_cycles = 0
+        #: Faults caught (and recoveries completed) by this context —
+        #: the campaign layer classifies trial outcomes from these.
+        self.fault_detections = 0
+        self.fault_recoveries = 0
+
+    @property
+    def checked(self) -> bool:
+        return self._checked is not None
+
+    def _pooled_runner(self, operation: str) -> KernelRunner:
+        cfg = self._checked
+        return registry.cached_runner(
+            self.p, f"{operation}.{self.variant}", self._pipeline_config,
+            checked=cfg is not None,
+            check_interval=cfg.interval if cfg is not None else None,
+        )
 
     # -- kernel dispatch -----------------------------------------------------
 
-    def _run(self, runner: KernelRunner, *values: int) -> int:
+    def _run(
+        self,
+        runner: KernelRunner,
+        *values: int,
+        replay: bool | None = None,
+    ) -> int:
         run = runner.run(*values, check=self.cross_check,
-                         replay=self._replay)
+                         replay=self._replay if replay is None else replay)
         self.simulated_instructions += run.instructions
         self.simulated_cycles += run.cycles
         return run.value
 
+    # -- the hardened execution path ----------------------------------------
+
+    def _guarded(self, operation, slots, compute, reference):
+        """Run *compute*; sample-check it; recover on divergence.
+
+        ``compute(replay)`` performs the kernel runs (re-reading the
+        runner slots, so a recovery swap takes effect), ``reference()``
+        is the pure-Python ground truth.  Detection comes either from a
+        runner's own checked mode (:class:`FaultDetectedError`, or a
+        :class:`SimulationError` crash mid-kernel) or from this
+        context-level sampled comparison.
+        """
+        cfg = self._checked
+        try:
+            value = compute(self._replay)
+        except (FaultDetectedError, SimulationError) as exc:
+            self.fault_detections += 1
+            return self._recover(operation, slots, compute, reference,
+                                 exc)
+        cfg.clock += 1
+        if cfg.clock >= cfg.interval:
+            cfg.clock = 0
+            if value != reference():
+                self.fault_detections += 1
+                telemetry.record_fault_detected(operation, "context")
+                return self._recover(operation, slots, compute,
+                                     reference, None)
+        return value
+
+    def _rebuild(self, slots) -> None:
+        """Replace the runners behind *slots* with pristine ones."""
+        cfg = self._checked
+        for slot in slots:
+            runner = getattr(self, slot)
+            name = runner.kernel.name
+            runner.machine.invalidate_trace(runner.entry)
+            registry.evict_runner(self.p, name, self._pipeline_config,
+                                  checked=True)
+            fresh = registry.cached_runner(
+                self.p, name, self._pipeline_config,
+                checked=True, check_interval=cfg.interval,
+            )
+            setattr(self, slot, fresh)
+
+    def _recover(self, operation, slots, compute, reference, cause):
+        """Bounded retry-with-fallback after a detected fault."""
+        cfg = self._checked
+        for _attempt in range(cfg.max_attempts):
+            self._rebuild(slots)
+            try:
+                value = compute(False)  # interpreter re-execution
+            except (FaultDetectedError, SimulationError):
+                continue
+            if value == reference():
+                self.fault_recoveries += 1
+                telemetry.record_fault_recovery(operation, "recovered")
+                return value
+        telemetry.record_fault_recovery(operation, "exhausted")
+        raise RecoveryExhaustedError(
+            f"{operation} still diverged from the pure-Python "
+            f"reference after {cfg.max_attempts} interpreter "
+            f"re-executions on freshly assembled runners"
+        ) from cause
+
+    # -- field operations ----------------------------------------------------
+
     def mul(self, a: int, b: int) -> int:
         self.counter.mul += 1
+        a %= self.p
+        b %= self.p
         # plain product: mont(a, mont(b, R^2)) = a * b mod p
-        b_mont = self._run(self._mul, b % self.p, self._r2)
-        return self._run(self._mul, a % self.p, b_mont)
+        if self._checked is None:
+            b_mont = self._run(self._mul, b, self._r2)
+            return self._run(self._mul, a, b_mont)
+        return self._guarded(
+            "mul", ("_mul",),
+            lambda replay: self._run(
+                self._mul, a,
+                self._run(self._mul, b, self._r2, replay=replay),
+                replay=replay),
+            lambda: self._reference.mul(a, b),
+        )
 
     def sqr(self, a: int) -> int:
         self.counter.sqr += 1
-        a_mont = self._run(self._mul, a % self.p, self._r2)
-        return self._run(self._mul, a % self.p, a_mont)
+        a %= self.p
+        if self._checked is None:
+            a_mont = self._run(self._mul, a, self._r2)
+            return self._run(self._mul, a, a_mont)
+        return self._guarded(
+            "sqr", ("_mul",),
+            lambda replay: self._run(
+                self._mul, a,
+                self._run(self._mul, a, self._r2, replay=replay),
+                replay=replay),
+            lambda: self._reference.sqr(a),
+        )
 
     def add(self, a: int, b: int) -> int:
         self.counter.add += 1
-        return self._run(self._add, a % self.p, b % self.p)
+        a %= self.p
+        b %= self.p
+        if self._checked is None:
+            return self._run(self._add, a, b)
+        return self._guarded(
+            "add", ("_add",),
+            lambda replay: self._run(self._add, a, b, replay=replay),
+            lambda: self._reference.add(a, b),
+        )
 
     def sub(self, a: int, b: int) -> int:
         self.counter.sub += 1
-        return self._run(self._sub, a % self.p, b % self.p)
+        a %= self.p
+        b %= self.p
+        if self._checked is None:
+            return self._run(self._sub, a, b)
+        return self._guarded(
+            "sub", ("_sub",),
+            lambda replay: self._run(self._sub, a, b, replay=replay),
+            lambda: self._reference.sub(a, b),
+        )

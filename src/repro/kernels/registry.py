@@ -29,7 +29,7 @@ from repro.errors import KernelError
 from repro.kernels import fullradix, reducedradix
 from repro.kernels.builder import KernelBuilder
 from repro.kernels.layout import SCRATCH_ADDR
-from repro.kernels.runner import KernelRunner
+from repro.kernels.runner import DEFAULT_CHECK_INTERVAL, KernelRunner
 from repro.kernels.spec import (
     ALL_VARIANTS,
     Kernel,
@@ -291,7 +291,7 @@ def cached_kernels(modulus: int) -> dict[str, Kernel]:
 
 
 _RUNNER_POOL: dict[
-    tuple[int, str, PipelineConfig], KernelRunner
+    tuple[int, str, PipelineConfig, bool], KernelRunner
 ] = {}
 
 
@@ -299,6 +299,9 @@ def cached_runner(
     modulus: int,
     name: str,
     pipeline_config: PipelineConfig = ROCKET_CONFIG,
+    *,
+    checked: bool = False,
+    check_interval: int | None = None,
 ) -> KernelRunner:
     """Pooled :class:`KernelRunner` for one kernel of *modulus*.
 
@@ -310,14 +313,22 @@ def cached_runner(
     execute, read result), so interleaved use at run granularity is safe
     in a single-threaded process.
 
+    ``checked`` runners (sampled reference cross-validation, see
+    ``docs/ROBUSTNESS.md``) are pooled separately from plain ones, so a
+    hardened context never taxes — or is taxed by — an unchecked one
+    sharing the same kernel.  ``check_interval`` re-tunes the sampling
+    interval of the pooled checked runner (last caller wins).
+
     Pool traffic is observable: telemetry counts hits and misses
     (``runner_pool_hits_total`` / ``runner_pool_misses_total``) and
     tracks the pool size, so a workload that keeps re-assembling
     kernels shows up immediately in ``repro profile`` output.
     """
-    key = (modulus, name, pipeline_config)
+    key = (modulus, name, pipeline_config, checked)
     runner = _RUNNER_POOL.get(key)
     if runner is not None:
+        if checked and check_interval is not None:
+            runner.enable_checked(check_interval)
         telemetry.record_pool_access(True, len(_RUNNER_POOL))
         return runner
     kernel = cached_kernels(modulus).get(name)
@@ -326,9 +337,37 @@ def cached_runner(
             f"no kernel {name!r} generated for modulus {modulus:#x}"
         )
     runner = KernelRunner(kernel, pipeline_config=pipeline_config)
+    if checked:
+        runner.enable_checked(
+            check_interval if check_interval is not None
+            else DEFAULT_CHECK_INTERVAL
+        )
     _RUNNER_POOL[key] = runner
     telemetry.record_pool_access(False, len(_RUNNER_POOL))
     return runner
+
+
+def evict_runner(
+    modulus: int,
+    name: str,
+    pipeline_config: PipelineConfig = ROCKET_CONFIG,
+    *,
+    checked: bool = False,
+) -> bool:
+    """Drop one pooled runner; returns whether it was pooled.
+
+    The recovery primitive of the hardened execution layer: a runner
+    whose machine state (memory image, const pool, replay cache) is
+    suspected of corruption is evicted so the next
+    :func:`cached_runner` call rebuilds it from scratch — re-assembly
+    from the pristine kernel source is the trust anchor.
+    """
+    runner = _RUNNER_POOL.pop((modulus, name, pipeline_config, checked),
+                              None)
+    if runner is None:
+        return False
+    telemetry.record_runner_evicted(name)
+    return True
 
 
 def clear_runner_pool() -> None:

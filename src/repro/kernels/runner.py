@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass
 
 from repro import telemetry
-from repro.errors import KernelError
+from repro.errors import FaultDetectedError, KernelError
 from repro.kernels.layout import (
     ARG_A_ADDR,
     ARG_B_ADDR,
@@ -63,6 +63,35 @@ _ZERO_REGS = [0] * NUM_REGISTERS
 #: timing): every caller measures the same, reproducible execution.
 STATIC_SAMPLE_SEED = 0
 
+#: Default sampling interval of ``checked`` mode: one in this many runs
+#: is cross-validated against the kernel's pure-Python reference (and
+#: its cycle count against the straight-line baseline).
+DEFAULT_CHECK_INTERVAL = 8
+
+
+class _Hardening:
+    """State of a runner's checked mode and fault-injection seam.
+
+    Kept on a single nullable slot so the hot path of
+    :meth:`KernelRunner.run` pays exactly one ``is None`` test while
+    the whole feature is off (the same disabled-cost contract as
+    telemetry; guarded by ``benchmarks/test_checked_overhead.py``).
+    """
+
+    __slots__ = ("enabled", "interval", "clock", "cycle_baseline",
+                 "fault_hook")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.interval = DEFAULT_CHECK_INTERVAL
+        self.clock = 0
+        self.cycle_baseline: int | None = None
+        self.fault_hook = None
+
+    @property
+    def active(self) -> bool:
+        return self.enabled or self.fault_hook is not None
+
 
 class KernelRunner:
     """Reusable executor for one kernel."""
@@ -74,9 +103,14 @@ class KernelRunner:
         pipeline_config: PipelineConfig = ROCKET_CONFIG,
         schedule: bool = False,
         replay: bool = False,
+        checked: bool = False,
+        check_interval: int = DEFAULT_CHECK_INTERVAL,
     ) -> None:
         self.kernel = kernel
         self.replay = replay
+        # hardening state (checked mode + fault-injection seam); None
+        # keeps the disabled hot path at a single boolean test
+        self._hardening: _Hardening | None = None
         program = assemble(kernel.source, kernel.isa)
         if schedule:
             # list-schedule the straight-line body (E10 ablation): the
@@ -100,6 +134,81 @@ class KernelRunner:
             )
         )
         self._result_reg = register_index("a0")
+        if checked:
+            self.enable_checked(check_interval)
+
+    # -- hardened execution (checked mode + fault seam) ---------------------
+
+    def _ensure_hardening(self) -> _Hardening:
+        if self._hardening is None:
+            self._hardening = _Hardening()
+        return self._hardening
+
+    def enable_checked(self, interval: int = DEFAULT_CHECK_INTERVAL) -> None:
+        """Cross-validate one in *interval* runs against the reference.
+
+        A sampled run's value is compared with the kernel's pure-Python
+        reference and its cycle count with the straight-line baseline
+        (primed here, from the healthy compiled trace, when available);
+        divergence raises :class:`~repro.errors.FaultDetectedError`.
+        """
+        hardening = self._ensure_hardening()
+        hardening.enabled = True
+        hardening.interval = max(1, int(interval))
+        if hardening.cycle_baseline is None:
+            trace = self.machine._trace_for(self.entry)
+            if trace is not None and trace.cycles is not None:
+                hardening.cycle_baseline = trace.cycles
+
+    def disable_checked(self) -> None:
+        """Turn sampled cross-validation off again."""
+        if self._hardening is not None:
+            self._hardening.enabled = False
+            if not self._hardening.active:
+                self._hardening = None
+
+    @property
+    def checked(self) -> bool:
+        return (self._hardening is not None
+                and self._hardening.enabled)
+
+    def set_fault_hook(self, hook) -> None:
+        """Install *hook*: ``limbs -> limbs`` applied to every raw
+        result read-out (the fault-injection seam used by
+        :mod:`repro.fault.inject`; not a public extension point)."""
+        self._ensure_hardening().fault_hook = hook
+
+    def clear_fault_hook(self) -> None:
+        if self._hardening is not None:
+            self._hardening.fault_hook = None
+            if not self._hardening.active:
+                self._hardening = None
+
+    def _verify(self, values, value: int, result) -> None:
+        """Sampled checked-mode validation; raises FaultDetectedError."""
+        kernel = self.kernel
+        hardening = self._hardening
+        telemetry.record_checked_run(kernel.name)
+        expected = kernel.reference(*values)
+        if value != expected:
+            telemetry.record_fault_detected(kernel.name, result.engine)
+            raise FaultDetectedError(
+                f"{kernel.name}: checked run diverged from the "
+                f"pure-Python reference: got {value:#x}, expected "
+                f"{expected:#x} for inputs {[hex(v) for v in values]}"
+            )
+        if result.cycles is not None:
+            if hardening.cycle_baseline is None:
+                hardening.cycle_baseline = result.cycles
+            elif result.cycles != hardening.cycle_baseline:
+                telemetry.record_fault_detected(kernel.name,
+                                                result.engine)
+                raise FaultDetectedError(
+                    f"{kernel.name}: cycle count {result.cycles} != "
+                    f"baseline {hardening.cycle_baseline} — impossible "
+                    f"for straight-line code with data-independent "
+                    f"timing; the replay cache is suspect"
+                )
 
     def _write_const_pool(self) -> None:
         ctx = self.kernel.context
@@ -174,7 +283,20 @@ class KernelRunner:
             out_limbs = tuple(
                 machine.mem.load_words(RESULT_ADDR, kernel.output_limbs)
             )
-        value = radix.from_limbs(list(out_limbs))
+        hardening = self._hardening
+        if hardening is None:  # disabled hardening: one boolean test
+            value = radix.from_limbs(list(out_limbs))
+        else:
+            if hardening.fault_hook is not None:
+                out_limbs = tuple(hardening.fault_hook(out_limbs))
+            value = radix.from_limbs(list(out_limbs))
+            if hardening.enabled:
+                hardening.clock += 1
+                if hardening.clock >= hardening.interval:
+                    hardening.clock = 0
+                    # raises FaultDetectedError on divergence, before
+                    # the run is recorded anywhere downstream
+                    self._verify(values, value, result)
         if check:
             expected = kernel.reference(*values)
             if value != expected:

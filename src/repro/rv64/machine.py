@@ -289,6 +289,22 @@ class Machine:
         """Whether the program at *entry* compiles to a replay trace."""
         return self._trace_for(entry) is not None
 
+    def invalidate_trace(self, entry: int) -> bool:
+        """Drop the cached replay trace for *entry*; returns whether one
+        was cached.
+
+        This is the recovery primitive of the hardened execution layer
+        (see ``docs/ROBUSTNESS.md``): a trace suspected of corruption is
+        invalidated and the next ``run(replay=True)`` recompiles it from
+        the (immutable) program image.  A previous rejection is also
+        forgotten, so a once-unreplayable entry gets re-examined.
+        """
+        self._replay_rejected.discard(entry)
+        removed = self._trace_cache.pop(entry, None) is not None
+        if removed:
+            telemetry.record_trace_invalidated()
+        return removed
+
     def _replay(self, trace, stack_top: int) -> ExecutionResult:
         """Execute a compiled trace; mirrors one interpreted run."""
         state = self.state

@@ -78,6 +78,13 @@ class ReplayError(SimulationError):
     by telemetry's ``trace_rejects_total{reason=...}`` counter.
     """
 
+    code = "replay"
+
+    #: Every reason `compile_trace` can refuse with (mirrored by the
+    #: exhaustive fallback tests in ``tests/test_replay_fallback.py``).
+    REASONS = ("control_flow", "ra_write", "cache_timing", "unmapped",
+               "step_limit")
+
     def __init__(self, message: str, *, reason: str = "other") -> None:
         super().__init__(message)
         self.reason = reason

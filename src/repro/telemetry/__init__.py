@@ -48,6 +48,9 @@ __all__ = [
     "record_pool_access", "record_machine_run",
     "record_replay_fallback", "record_trace_compile",
     "record_trace_reject",
+    "record_fault_injected", "record_fault_detected",
+    "record_fault_recovery", "record_checked_run",
+    "record_runner_evicted", "record_trace_invalidated",
 ]
 
 #: Process-global span recorder (disabled until :func:`enable`).
@@ -208,3 +211,63 @@ def record_trace_reject(reason: str) -> None:
     REGISTRY.counter(
         "trace_rejects_total", "replay compilation refusals"
     ).inc(reason=reason)
+
+
+# -- fault injection and the hardened execution layer -----------------------
+# (see repro.fault and docs/ROBUSTNESS.md)
+
+
+def record_fault_injected(site: str, kernel: str) -> None:
+    """One armed fault, labeled by site kind and target kernel."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "faults_injected_total", "armed faults by site and kernel"
+    ).inc(site=site, kernel=kernel)
+
+
+def record_fault_detected(where: str, engine: str) -> None:
+    """A checked execution caught a divergence from the reference."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "faults_detected_total",
+        "checked-mode divergences by detection point",
+    ).inc(where=where, engine=engine)
+
+
+def record_fault_recovery(operation: str, outcome: str) -> None:
+    """End of a recovery attempt sequence (``recovered``/``exhausted``)."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "fault_recoveries_total",
+        "recovery outcomes after a detected fault",
+    ).inc(operation=operation, outcome=outcome)
+
+
+def record_checked_run(kernel: str) -> None:
+    """One sampled cross-validation against the pure-Python reference."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "checked_runs_total", "sampled reference cross-validations"
+    ).inc(kernel=kernel)
+
+
+def record_runner_evicted(kernel: str) -> None:
+    """A poisoned runner evicted from the registry pool."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "runner_evictions_total", "runner pool evictions"
+    ).inc(kernel=kernel)
+
+
+def record_trace_invalidated() -> None:
+    """A cached replay trace dropped by Machine.invalidate_trace."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "trace_invalidations_total", "replay traces invalidated"
+    ).inc()

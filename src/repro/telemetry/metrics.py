@@ -31,6 +31,8 @@ from repro.errors import ReproError
 class TelemetryError(ReproError):
     """Misuse of the telemetry layer (type clash, bad labels, ...)."""
 
+    code = "telemetry"
+
 
 LabelKey = tuple[tuple[str, str], ...]
 

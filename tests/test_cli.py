@@ -46,8 +46,12 @@ class TestCommands:
         assert "ret" in out
 
     def test_kernel_unknown_name(self, capsys):
-        assert main(["kernel", "nonsense", "--params", "toy"]) == 1
-        assert "available" in capsys.readouterr().err
+        assert main(["kernel", "nonsense", "--params", "toy"]) == 2
+        err = capsys.readouterr().err
+        assert "available" in err
+        # one actionable line, not a traceback or a listing dump
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
 
     def test_exchange_toy(self, capsys):
         assert main(["exchange", "--params", "toy"]) == 0
@@ -60,6 +64,50 @@ class TestCommands:
         assert "# Reproduction report" in text
         assert "## Table 4" in text
         assert "Critical path" in text
+
+
+class TestFaultsCommand:
+    """``repro faults`` and the one-line CLI error contract."""
+
+    def test_toy_campaign_with_json_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "faults.json"
+        assert main(["faults", "--params", "toy", "--n", "6",
+                     "--seed", "2", "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "escaped 0" in text
+        document = json.loads(out.read_text())
+        assert document["seed"] == 2
+        assert document["n"] == 6
+        assert document["escaped"] == 0
+        assert len(document["trials"]) == 6
+        assert document["metrics"]["faults_injected_total"]
+
+    def test_quiet_suppresses_table(self, tmp_path, capsys):
+        out = tmp_path / "faults.json"
+        assert main(["faults", "--params", "toy", "--n", "2",
+                     "--seed", "1", "--quiet",
+                     "--json", str(out)]) == 0
+        assert capsys.readouterr().out == ""
+        assert out.exists()
+
+    @pytest.mark.parametrize("argv, needle", [
+        (["faults", "--n", "0"], "--n"),
+        (["faults", "--check-interval", "0"], "--check-interval"),
+        (["faults", "--quiet"], "--json"),
+        (["faults", "--params", "toy", "--sites", "bogus_site"],
+         "unknown fault site"),
+        (["faults", "--params", "csidh-512", "--n", "1"],
+         "--params toy"),
+    ])
+    def test_bad_arguments_one_line_exit_2(self, argv, needle,
+                                           capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert needle in err
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
 
 
 class TestTelemetryFlags:
@@ -89,11 +137,12 @@ class TestTelemetryFlags:
         assert run["simulated_cycles"] \
             == document["workload"]["simulated_cycles"]
 
-    def test_profile_csidh512_refused(self):
-        from repro.errors import ReproError
-
-        with pytest.raises(ReproError, match="infeasible"):
-            main(["profile", "--params", "csidh-512"])
+    def test_profile_csidh512_refused(self, capsys):
+        assert main(["profile", "--params", "csidh-512"]) == 2
+        err = capsys.readouterr().err
+        assert "infeasible" in err
+        assert "--params toy" in err  # actionable: names the fix
+        assert len(err.strip().splitlines()) == 1
 
     def test_action_telemetry_cycle_sum_invariant(self, tmp_path,
                                                   capsys):

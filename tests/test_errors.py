@@ -1,0 +1,85 @@
+"""The package-wide exception contract.
+
+Walks every module under ``repro`` and asserts that every exception
+class defined anywhere in the package derives from
+:class:`repro.errors.ReproError` and carries a stable, unique,
+machine-readable ``code`` string.  New subsystems must extend the
+hierarchy in ``errors.py`` (or subclass within it, like
+:class:`~repro.rv64.replay.ReplayError`) — they cannot fork their own
+exception bases, and they cannot reuse another failure mode's code.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+from repro import errors
+
+
+def _package_exception_classes() -> list[type]:
+    seen: dict[str, type] = {}
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix="repro."):
+        module = importlib.import_module(info.name)
+        for _, obj in inspect.getmembers(module, inspect.isclass):
+            if (issubclass(obj, BaseException)
+                    and obj.__module__.startswith("repro")):
+                seen[f"{obj.__module__}.{obj.__qualname__}"] = obj
+    return [seen[key] for key in sorted(seen)]
+
+
+EXCEPTIONS = _package_exception_classes()
+
+
+def test_walk_found_the_hierarchy():
+    # sanity: the walk actually discovered the package's exceptions
+    assert errors.ReproError in EXCEPTIONS
+    assert errors.FaultDetectedError in EXCEPTIONS
+    names = {cls.__name__ for cls in EXCEPTIONS}
+    assert {"ReplayError", "TelemetryError",
+            "RecoveryExhaustedError"} <= names
+    assert len(EXCEPTIONS) >= 12
+
+
+@pytest.mark.parametrize(
+    "cls", EXCEPTIONS,
+    ids=[f"{cls.__module__}.{cls.__name__}" for cls in EXCEPTIONS])
+def test_derives_from_repro_error(cls):
+    assert issubclass(cls, errors.ReproError), (
+        f"{cls.__module__}.{cls.__name__} forks its own exception "
+        f"base; derive it from repro.errors.ReproError instead")
+
+
+@pytest.mark.parametrize(
+    "cls", EXCEPTIONS,
+    ids=[f"{cls.__module__}.{cls.__name__}" for cls in EXCEPTIONS])
+def test_has_stable_code(cls):
+    code = cls.__dict__.get("code")  # own, not inherited
+    assert isinstance(code, str) and code, (
+        f"{cls.__name__} must define its own stable `code` string")
+    assert code == code.lower()
+    assert " " not in code
+
+
+def test_codes_are_unique():
+    codes: dict[str, str] = {}
+    for cls in EXCEPTIONS:
+        code = cls.code
+        assert code not in codes, (
+            f"{cls.__name__} reuses code {code!r} already taken by "
+            f"{codes[code]}")
+        codes[code] = cls.__name__
+
+
+def test_fault_hierarchy_shape():
+    """The recovery layer's contract: both detection and exhaustion
+    are FaultErrors, catchable as one family at the API boundary."""
+    assert issubclass(errors.FaultDetectedError, errors.FaultError)
+    assert issubclass(errors.RecoveryExhaustedError, errors.FaultError)
+    assert errors.FaultDetectedError.code == "fault_detected"
+    assert errors.RecoveryExhaustedError.code == "recovery_exhausted"

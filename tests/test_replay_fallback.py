@@ -1,0 +1,183 @@
+"""Replay→interpreter fallback, exercised per rejection reason.
+
+One test per :class:`~repro.rv64.replay.ReplayError` ``reason`` value:
+each builds a program the trace compiler must refuse, asserts the
+refusal (``trace_rejects_total{reason=...}``), asserts that a
+``run(replay=True)`` on such a program increments the fallback counter
+(``replay_fallback_total{reason="not_replayable"}``), and — where the
+program is runnable at all — that the fallback execution is
+bit-for-bit identical to a plain interpreter run (registers, memory,
+retired-instruction count, cycles).  Programs that are broken for the
+interpreter too (unmapped walk-off, step-limit blowout) must fail
+identically on both paths.
+
+A final guard asserts this file covers every declared reason, so a new
+rejection reason cannot land without its fallback test.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro import telemetry
+from repro.core.ise import EXTENDED_ISA
+from repro.errors import SimulationError
+from repro.rv64.assembler import assemble
+from repro.rv64.machine import Machine
+from repro.rv64.pipeline import (
+    PipelineModel,
+    ROCKET_CONFIG,
+    ROCKET_CONFIG_WITH_CACHES,
+)
+from repro.rv64.replay import ReplayError, compile_trace
+
+#: reason -> the assembly that provokes it (straight-line unless noted)
+_STRAIGHT = """
+    addi t0, zero, 41
+    addi t1, zero, 1
+    add  a0, t0, t1
+    ret
+"""
+
+
+def _machine(source: str, *, config=ROCKET_CONFIG,
+             max_steps: int | None = None) -> tuple[Machine, int]:
+    machine = Machine(EXTENDED_ISA, pipeline=PipelineModel(config))
+    if max_steps is not None:
+        machine.max_steps = max_steps
+    entry = machine.load_program(assemble(source, EXTENDED_ISA))
+    return machine, entry
+
+
+def _assert_rejected(source: str, reason: str, **kwargs) -> None:
+    machine, entry = _machine(source, **kwargs)
+    with pytest.raises(ReplayError) as excinfo:
+        compile_trace(machine, entry)
+    assert excinfo.value.reason == reason
+
+
+def _fallback_matches_interpreter(source: str, reason: str,
+                                  **kwargs) -> None:
+    """run(replay=True) falls back and matches run(replay=False)."""
+    with telemetry.capture(fresh=True) as cap:
+        replay_machine, entry = _machine(source, **kwargs)
+        replay_result = replay_machine.run(entry, replay=True)
+    plain_machine, entry2 = _machine(source, **kwargs)
+    plain_result = plain_machine.run(entry2, replay=False)
+
+    assert replay_result.engine == "interpreter"
+    assert replay_result.instructions_retired \
+        == plain_result.instructions_retired
+    assert replay_result.cycles == plain_result.cycles
+    assert replay_result.histogram == plain_result.histogram
+    assert replay_machine.regs.snapshot() == plain_machine.regs.snapshot()
+
+    rejects = cap.registry.counter("trace_rejects_total")
+    assert rejects.value(reason=reason) == 1
+    fallbacks = cap.registry.counter("replay_fallback_total")
+    assert fallbacks.value(reason="not_replayable") == 1
+
+
+class TestControlFlow:
+    SOURCE = """
+        addi t0, zero, 5
+        beq  zero, zero, 8
+        addi t0, zero, 99
+        addi a0, t0, 1
+        ret
+    """
+
+    def test_rejected(self):
+        _assert_rejected(self.SOURCE, "control_flow")
+
+    def test_fallback_bit_for_bit(self):
+        _fallback_matches_interpreter(self.SOURCE, "control_flow")
+        machine, entry = _machine(self.SOURCE)
+        machine.run(entry)
+        assert machine.regs["a0"] == 6  # the branch was honoured
+
+
+class TestRaWrite:
+    # writes ra with its own (unchanged) value: harmless to execute,
+    # but the compiler cannot prove the final ret still halts
+    SOURCE = """
+        addi t0, zero, 7
+        addi ra, ra, 0
+        addi a0, t0, 3
+        ret
+    """
+
+    def test_rejected(self):
+        _assert_rejected(self.SOURCE, "ra_write")
+
+    def test_fallback_bit_for_bit(self):
+        _fallback_matches_interpreter(self.SOURCE, "ra_write")
+        machine, entry = _machine(self.SOURCE)
+        machine.run(entry)
+        assert machine.regs["a0"] == 10
+
+
+class TestCacheTiming:
+    def test_rejected(self):
+        _assert_rejected(_STRAIGHT, "cache_timing",
+                         config=ROCKET_CONFIG_WITH_CACHES)
+
+    def test_fallback_bit_for_bit(self):
+        _fallback_matches_interpreter(_STRAIGHT, "cache_timing",
+                                      config=ROCKET_CONFIG_WITH_CACHES)
+
+
+class TestUnmapped:
+    # no terminal ret: the straight-line walk falls off the image, and
+    # so does the interpreter — both paths must fail identically
+    SOURCE = """
+        addi t0, zero, 1
+        add  a0, t0, t0
+    """
+
+    def test_rejected(self):
+        _assert_rejected(self.SOURCE, "unmapped")
+
+    def test_fallback_fails_like_interpreter(self):
+        with telemetry.capture(fresh=True) as cap:
+            machine, entry = _machine(self.SOURCE)
+            with pytest.raises(SimulationError) as via_replay:
+                machine.run(entry, replay=True)
+        other, entry2 = _machine(self.SOURCE)
+        with pytest.raises(SimulationError) as via_interp:
+            other.run(entry2, replay=False)
+        assert str(via_replay.value) == str(via_interp.value)
+        rejects = cap.registry.counter("trace_rejects_total")
+        assert rejects.value(reason="unmapped") == 1
+        fallbacks = cap.registry.counter("replay_fallback_total")
+        assert fallbacks.value(reason="not_replayable") == 1
+
+
+class TestStepLimit:
+    SOURCE = "\n".join(["addi t0, t0, 1"] * 8) + "\nret\n"
+
+    def test_rejected(self):
+        _assert_rejected(self.SOURCE, "step_limit", max_steps=4)
+
+    def test_fallback_fails_like_interpreter(self):
+        with telemetry.capture(fresh=True) as cap:
+            machine, entry = _machine(self.SOURCE, max_steps=4)
+            with pytest.raises(SimulationError, match="step limit"):
+                machine.run(entry, replay=True)
+        other, entry2 = _machine(self.SOURCE, max_steps=4)
+        with pytest.raises(SimulationError, match="step limit"):
+            other.run(entry2, replay=False)
+        rejects = cap.registry.counter("trace_rejects_total")
+        assert rejects.value(reason="step_limit") == 1
+        fallbacks = cap.registry.counter("replay_fallback_total")
+        assert fallbacks.value(reason="not_replayable") == 1
+
+
+def test_every_declared_reason_is_covered():
+    """A new ReplayError.reason cannot land without a fallback test."""
+    source = open(__file__, encoding="utf-8").read()
+    tested = set(re.findall(r'"(control_flow|ra_write|cache_timing|'
+                            r'unmapped|step_limit)"', source))
+    assert tested == set(ReplayError.REASONS)
