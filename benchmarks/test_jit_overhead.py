@@ -1,0 +1,126 @@
+"""Speedup guards for the jit execution tier and the batched API.
+
+The acceptance contract of the jit PR:
+
+* the jit engine runs the toy group action at least **2x** faster than
+  the replay engine (which itself holds the PR 1 floor of >3x over the
+  interpreter — re-asserted here so the ladder cannot silently
+  compress);
+* ``run_batch`` on the replay engine beats looped single calls by at
+  least **1.5x** on a small kernel, where the per-call marshalling
+  overhead dominates (the jit tier's fused entry thunks already strip
+  most of that from scalar calls, so its batch margin is structural,
+  asserted as parity rather than a multiple);
+* the PR 3 checked-mode guard (< 2x over plain replay) stays intact —
+  the jit tier must not have perturbed the hardened path.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.csidh.group_action import group_action
+from repro.csidh.parameters import csidh_toy
+from repro.field.simulated import SimulatedFieldContext
+from repro.kernels.registry import cached_runner
+
+EXPONENTS = (1, -1, 1)
+
+
+def _run_action(*, engine: str | None = None,
+                checked: bool = False) -> float:
+    params = csidh_toy()
+    field = SimulatedFieldContext(params.p, engine=engine,
+                                  checked=checked)
+    start = time.perf_counter()
+    group_action(params, field, 0, EXPONENTS, random.Random(3))
+    return time.perf_counter() - start
+
+
+def _best_of(n: int, run) -> float:
+    return min(run() for _ in range(n))
+
+
+def test_jit_at_least_2x_over_replay():
+    """The code-generated tier halves (at least) the replay wall time
+    on a full toy group action."""
+    _run_action(engine="replay")   # warm pools + trace caches
+    _run_action(engine="jit")      # warm pools + jit caches
+    # interleave the two measurements so a load spike hits both sides
+    replay = jit = float("inf")
+    for _ in range(4):
+        replay = min(replay, _run_action(engine="replay"))
+        jit = min(jit, _run_action(engine="jit"))
+    ratio = replay / jit
+    print(f"\n=== toy action: replay {replay*1e3:.1f} ms, "
+          f"jit {jit*1e3:.1f} ms ({ratio:.2f}x) ===")
+    assert ratio > 2.0
+
+
+def test_replay_floor_over_interpreter_intact():
+    """PR 1's guard: replay stays >3x faster than the interpreter."""
+    _run_action(engine="interpreter")
+    _run_action(engine="replay")
+    interp = _best_of(2, lambda: _run_action(engine="interpreter"))
+    replay = _best_of(3, lambda: _run_action(engine="replay"))
+    ratio = interp / replay
+    print(f"\n=== toy action: interpreter {interp*1e3:.1f} ms, "
+          f"replay {replay*1e3:.1f} ms ({ratio:.2f}x) ===")
+    assert ratio > 3.0
+
+
+def test_checked_mode_guard_intact():
+    """PR 3's guard: hardening still costs < 2x over plain replay."""
+    _run_action()
+    _run_action(checked=True)
+    plain = _best_of(3, _run_action)
+    checked = _best_of(3, lambda: _run_action(checked=True))
+    ratio = checked / plain
+    print(f"\n=== toy action: plain {plain*1e3:.1f} ms, "
+          f"checked {checked*1e3:.1f} ms ({ratio:.2f}x) ===")
+    assert ratio < 2.0
+
+
+def _time_batch_vs_loop(engine: str, n: int = 200):
+    p = csidh_toy().p
+    runner = cached_runner(p, "fp_add.reduced.ise", engine=engine)
+    rng = random.Random(17)
+    sets = [(rng.randrange(p), rng.randrange(p)) for _ in range(n)]
+    runner.run_batch(sets[:4], check=False)      # warm compile caches
+    [runner.run(*v, check=False) for v in sets[:4]]
+    # interleave the two measurements so a load spike hits both sides
+    loop = batch = float("inf")
+    for _ in range(5):
+        loop = min(loop, _timed(
+            lambda: [runner.run(*v, check=False) for v in sets]))
+        batch = min(batch, _timed(
+            lambda: runner.run_batch(sets, check=False)))
+    return loop, batch
+
+
+def _timed(run) -> float:
+    start = time.perf_counter()
+    run()
+    return time.perf_counter() - start
+
+
+def test_replay_batch_at_least_1_5x_over_looped_singles():
+    """Batching amortises per-call marshal/dispatch overhead: on the
+    replay engine a small kernel gains >=1.5x."""
+    loop, batch = _time_batch_vs_loop("replay")
+    ratio = loop / batch
+    print(f"\n=== fp_add replay x200: loop {loop*1e3:.1f} ms, "
+          f"batch {batch*1e3:.1f} ms ({ratio:.2f}x) ===")
+    assert ratio > 1.5
+
+
+def test_jit_batch_no_slower_than_looped_singles():
+    """The jit tier's scalar calls are already thunk-fused, so batch
+    must at minimum not regress (small constant-factor tolerance for
+    timer noise on a fast path)."""
+    loop, batch = _time_batch_vs_loop("jit")
+    ratio = loop / batch
+    print(f"\n=== fp_add jit x200: loop {loop*1e3:.1f} ms, "
+          f"batch {batch*1e3:.1f} ms ({ratio:.2f}x) ===")
+    assert ratio > 0.9

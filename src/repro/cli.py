@@ -13,7 +13,11 @@ Commands:
   cycle-attribution span tree (see ``docs/OBSERVABILITY.md``);
 * ``faults`` — run a seeded fault-injection campaign against the
   hardened execution layer and print/export the detection-coverage
-  report (see ``docs/ROBUSTNESS.md``); exits 1 if any fault escaped.
+  report (see ``docs/ROBUSTNESS.md``); exits 1 if any fault escaped;
+* ``bench`` — time one simulated group action per execution engine
+  (interpreter / replay / jit) plus the batched field API, verify the
+  outputs agree, and optionally append the comparison to the
+  ``BENCH_protocol.json`` perf trajectory.
 
 ``action``, ``table4`` and ``report`` additionally accept
 ``--telemetry PATH`` to export spans and metrics (JSON, or JSONL when
@@ -238,6 +242,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     report = run_campaign(
         params.p, seed=args.seed, n=args.n, variant=args.variant,
         sites=sites, check_interval=args.check_interval,
+        engine=args.engine,
     )
 
     if not args.quiet:
@@ -259,6 +264,110 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         if not args.quiet:
             print(f"campaign report written to {args.json}")
     return 1 if report.escaped else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import random
+    import time
+
+    from repro.csidh.group_action import group_action
+    from repro.field.simulated import SimulatedFieldContext
+    from repro.rv64.machine import ENGINES
+    from repro.telemetry.export import write_bench
+    from repro.telemetry.profile import MAX_SIMULATED_BITS
+
+    if args.rounds < 1:
+        raise ParameterError(
+            f"--rounds must be at least 1 (got {args.rounds})")
+    if args.batch < 0:
+        raise ParameterError(
+            f"--batch must be non-negative (got {args.batch})")
+    params = _PARAM_SETS[args.params]()
+    if params.p.bit_length() > MAX_SIMULATED_BITS:
+        raise ParameterError(
+            f"a {params.p.bit_length()}-bit benchmark on the "
+            f"functional simulator is infeasible; use --params toy "
+            f"or mini")
+    engines = (ENGINES if args.engine == "all"
+               else (args.engine,))
+    p = params.p
+    exponent_rng = random.Random(args.seed)
+    exponents = tuple(exponent_rng.choice((-1, 0, 1)) or 1
+                      for _ in params.ells)
+
+    results: dict[str, dict] = {}
+    outputs: dict[str, int] = {}
+    for engine in engines:
+        context = SimulatedFieldContext(p, variant=args.variant,
+                                        engine=engine)
+        best = float("inf")
+        for _ in range(args.rounds):
+            start = time.perf_counter()
+            out = group_action(params, context, 0, exponents,
+                               random.Random(args.seed))
+            best = min(best, time.perf_counter() - start)
+        outputs[engine] = out
+        results[engine] = {"wall_s": best, "output": out}
+    if len(set(outputs.values())) > 1:
+        raise KernelError(
+            f"engines disagree on the group-action output: {outputs}")
+
+    baseline = results[engines[0]]["wall_s"]
+    for engine in engines:
+        row = results[engine]
+        row["speedup"] = baseline / row["wall_s"]
+        print(f"{engine:12s} {row['wall_s'] * 1e3:8.1f} ms   "
+              f"{row['speedup']:5.2f}x vs {engines[0]}")
+
+    batch_report = None
+    if args.batch:
+        operand_rng = random.Random(args.seed + 1)
+        pairs = [(operand_rng.randrange(p), operand_rng.randrange(p))
+                 for _ in range(args.batch)]
+        batch_report = {}
+        for engine in engines:
+            if engine == "interpreter":
+                continue  # batches demote to the scalar loop there
+            context = SimulatedFieldContext(p, variant=args.variant,
+                                            engine=engine)
+            context.mul_batch(pairs[:2])  # warm compile caches
+            start = time.perf_counter()
+            looped = [context.mul(a, b) for a, b in pairs]
+            loop_s = time.perf_counter() - start
+            start = time.perf_counter()
+            batched = context.mul_batch(pairs)
+            batch_s = time.perf_counter() - start
+            if batched != looped:
+                raise KernelError(
+                    f"{engine}: mul_batch disagrees with looped mul")
+            ratio = loop_s / batch_s if batch_s else float("inf")
+            batch_report[engine] = {
+                "n": args.batch, "loop_s": loop_s,
+                "batch_s": batch_s, "speedup": ratio,
+            }
+            print(f"{engine:12s} mul_batch x{args.batch}: "
+                  f"loop {loop_s * 1e3:6.1f} ms, batch "
+                  f"{batch_s * 1e3:6.1f} ms   {ratio:5.2f}x")
+
+    if args.bench_out:
+        record = {
+            "mode": "engine_comparison",
+            "params": params.name,
+            "variant": args.variant,
+            "seed": args.seed,
+            "rounds": args.rounds,
+            "output": outputs[engines[0]],
+            "engines": {
+                engine: {"wall_s": row["wall_s"],
+                         "speedup": row["speedup"]}
+                for engine, row in results.items()
+            },
+        }
+        if batch_report:
+            record["batch"] = batch_report
+        write_bench(args.bench_out, "protocol", record)
+        print(f"benchmark trajectory appended to {args.bench_out}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -341,11 +450,34 @@ def build_parser() -> argparse.ArgumentParser:
                         "1: every operation)")
     p.add_argument("--sites", default=None,
                    help="comma-separated fault sites (default: all)")
+    p.add_argument("--engine", default=None,
+                   choices=("interpreter", "replay", "jit"),
+                   help="execution tier the checked contexts run on "
+                        "(default: replay)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the full coverage report as JSON")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the table (requires --json)")
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "bench",
+        help="time a group action per execution engine (+ batch API)")
+    p.add_argument("--params", choices=sorted(_PARAM_SETS),
+                   default="toy")
+    p.add_argument("--engine",
+                   choices=("interpreter", "replay", "jit", "all"),
+                   default="all")
+    p.add_argument("--variant", default="reduced.ise")
+    p.add_argument("--rounds", type=int, default=3,
+                   help="timing repetitions per engine (best-of)")
+    p.add_argument("--batch", type=int, default=64, metavar="N",
+                   help="also time mul_batch over N pairs (0: skip)")
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--bench-out", default=None, metavar="PATH",
+                   help="append the engine comparison to the "
+                        "BENCH_*.json perf trajectory")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("kernel", help="dump a generated kernel")
     p.add_argument("name", help="e.g. fp_mul.reduced.ise")

@@ -49,6 +49,7 @@ from repro.rv64.isa import (
     OP_CUSTOM_SRAIADD,
     register_global_spec,
 )
+from repro.rv64.jit import register_template as register_jit_template
 from repro.rv64.replay import register_compiler as register_replay_compiler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -249,3 +250,42 @@ register_replay_compiler("madd57lu", _r4_compiler(madd57lu_value))
 register_replay_compiler("madd57hu", _r4_compiler(madd57hu_value))
 register_replay_compiler("cadd", _r4_compiler(cadd_value))
 register_replay_compiler("sraiadd", _compile_sraiadd)
+
+
+# ---------------------------------------------------------------------------
+# Trace-JIT expression templates
+# ---------------------------------------------------------------------------
+# Inline the same algebra as the pure value functions above — the
+# three-way differential suite (interpreter vs replay vs jit) pins the
+# inlined expressions to the reference semantics, so they cannot drift.
+
+def _jit_r4(expr: str):
+    """Emitter for an R4-type instruction from an {a}/{b}/{c} expression
+    (operands are jit locals holding values in [0, 2^64); ``M`` is the
+    64-bit mask in the generated function's globals)."""
+    def emit(ins, pc):
+        return f"r{ins.rd} = " + expr.format(
+            a=f"r{ins.rs1}", b=f"r{ins.rs2}", c=f"r{ins.rs3}")
+
+    return emit
+
+
+def _jit_sraiadd(ins, pc):
+    # x + EXTS(y >> imm): the signed shift may be negative; the final
+    # mask is the u64 wrap (mod 2^64 the two formulations agree)
+    y = f"r{ins.rs2}"
+    return (f"r{ins.rd} = (r{ins.rs1} + (({y} - (({y} >> 63) << 64)) "
+            f">> {ins.imm & 63})) & M")
+
+
+# maddhu needs no final mask: (x*y + z) <= 2^128 - 2^64, so the high
+# half is already < 2^64; every other sum can carry past 64 bits.
+register_jit_template("maddlu", _jit_r4("({a} * {b} + {c}) & M"))
+register_jit_template("maddhu", _jit_r4("({a} * {b} + {c}) >> 64"))
+register_jit_template(
+    "madd57lu", _jit_r4(f"(({{a}} * {{b}} & {MASK57}) + {{c}}) & M"))
+register_jit_template(
+    "madd57hu",
+    _jit_r4(f"(((({{a}} * {{b}}) >> {REDUCED_RADIX_BITS}) & M) + {{c}}) & M"))
+register_jit_template("cadd", _jit_r4("((({a} + {b}) >> 64) + {c}) & M"))
+register_jit_template("sraiadd", _jit_sraiadd)

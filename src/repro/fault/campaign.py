@@ -102,6 +102,7 @@ class CampaignReport:
     check_interval: int
     trials: tuple[TrialResult, ...]
     metrics: dict = field(default_factory=dict)
+    engine: str = "replay"
 
     @property
     def outcomes(self) -> dict[str, int]:
@@ -143,6 +144,7 @@ class CampaignReport:
             "modulus": self.modulus,
             "variant": self.variant,
             "check_interval": self.check_interval,
+            "engine": self.engine,
             "outcomes": self.outcomes,
             "by_site": self.by_site,
             "detected": self.detected,
@@ -208,8 +210,14 @@ def run_campaign(
     check_interval: int = 1,
     max_recovery_attempts: int = DEFAULT_RECOVERY_ATTEMPTS,
     pipeline_config: PipelineConfig = ROCKET_CONFIG,
+    engine: str | None = None,
 ) -> CampaignReport:
-    """Inject *n* planned faults into checked contexts over F_p."""
+    """Inject *n* planned faults into checked contexts over F_p.
+
+    *engine* selects the execution tier the checked contexts run on
+    (``None`` keeps the context default, replay); ``engine="jit"``
+    campaigns prove that replay-cache corruption reaches a live
+    compiled jit function and that recovery evicts it."""
     plan = FaultPlan(seed=seed, sites=sites, operations=operations)
     planned = plan.generate(n)
     operands = plan.operand_rng()
@@ -224,7 +232,15 @@ def run_campaign(
                 p, variant=variant, pipeline_config=pipeline_config,
                 checked=True, check_interval=check_interval,
                 max_recovery_attempts=max_recovery_attempts,
+                engine=engine,
             )
+            if engine == "jit":
+                # compile the jit functions *before* arming, so
+                # replay-cache faults corrupt a live compiled image
+                # (the scenario the jit campaign exists to cover)
+                for slot in ("_mul", "_sqr", "_add", "_sub"):
+                    runner = getattr(context, slot)
+                    runner.machine.jit_supported(runner.entry)
             reference = context._reference
             a = operands.randrange(p)
             b = operands.randrange(p)
@@ -243,4 +259,5 @@ def run_campaign(
         check_interval=check_interval,
         trials=tuple(trials),
         metrics=metrics,
+        engine=engine if engine is not None else "replay",
     )

@@ -13,7 +13,13 @@ installs the corruption:
   ``replay_cycles_corrupt``) swap the cached
   :class:`~repro.rv64.replay.CompiledTrace` for a poisoned copy —
   *persistent* corruption that stays until recovery invalidates the
-  cache entry;
+  cache entry.  When the machine also holds a **compiled jit
+  function** for the same entry, the equivalent jit poisoning
+  (:func:`~repro.rv64.jit.poisoned_skip` / ``poisoned_xor`` /
+  ``poisoned_cycles``) is applied in the same arming step: the jit
+  image is the same cached execution state in another form, so a fault
+  that corrupts the trace must reach it too, or jit runs would sail
+  straight past the armed fault;
 * ``output_corrupt`` installs a one-shot hook on the runner's result
   read-out seam, perturbing what the caller sees independently of the
   engine.
@@ -42,6 +48,7 @@ from repro.fault.plan import (
 )
 from repro.kernels.layout import RESULT_ADDR
 from repro.kernels.runner import KernelRunner
+from repro.rv64.jit import poisoned_cycles, poisoned_skip, poisoned_xor
 from repro.rv64.replay import _is_terminal_ret
 
 
@@ -104,11 +111,30 @@ def _poisoned_trace(runner: KernelRunner):
     return machine, trace
 
 
-def _restore_trace(machine, entry: int, original):
+def _poison_jit(machine, entry: int, poison) -> Callable[[], None]:
+    """Apply *poison* to a live compiled jit function, if one exists.
+
+    Returns the restore callable (a no-op when the entry was never
+    jit-compiled — interpreter/replay-only campaigns arm exactly as
+    before)."""
+    original = machine._jit_cache.get(entry)
+    if original is None:
+        return lambda: None
+    machine._jit_cache[entry] = poison(original)
+
+    def restore() -> None:
+        machine._jit_cache[entry] = original
+
+    return restore
+
+
+def _restore_trace(machine, entry: int, original, restore_jit=None):
     def disarm() -> None:
         # harmless if recovery already rebuilt the runner: the poisoned
         # machine is unreachable then, and restoring it changes nothing
         machine._trace_cache[entry] = original
+        if restore_jit is not None:
+            restore_jit()
 
     return disarm
 
@@ -162,10 +188,16 @@ def arm_fault(runner: KernelRunner, site: FaultSite) -> ArmedFault:
         k = site.step % len(trace.steps)
         steps = trace.steps[:k] + trace.steps[k + 1:]
         machine._trace_cache[runner.entry] = replace(trace, steps=steps)
+        restore_jit = _poison_jit(
+            machine, runner.entry,
+            lambda jitfn: (poisoned_skip(jitfn, k)
+                           if k < len(jitfn.blocks) else jitfn),
+        )
         return ArmedFault(
             site=site, kernel=kernel,
             description=f"skip replay step {k}/{len(trace.steps)}",
-            disarm=_restore_trace(machine, runner.entry, trace),
+            disarm=_restore_trace(machine, runner.entry, trace,
+                                  restore_jit),
         )
 
     if kind == SITE_REPLAY_CLOSURE:
@@ -185,11 +217,17 @@ def arm_fault(runner: KernelRunner, site: FaultSite) -> ArmedFault:
 
         steps = trace.steps[:k] + (corrupted_step,) + trace.steps[k + 1:]
         machine._trace_cache[runner.entry] = replace(trace, steps=steps)
+        restore_jit = _poison_jit(
+            machine, runner.entry,
+            lambda jitfn: (poisoned_xor(jitfn, k, reg, mask)
+                           if k < len(jitfn.blocks) else jitfn),
+        )
         return ArmedFault(
             site=site, kernel=kernel,
             description=(f"replay step {k} additionally flips bit "
                          f"{site.bit % 64} of x{reg}"),
-            disarm=_restore_trace(machine, runner.entry, trace),
+            disarm=_restore_trace(machine, runner.entry, trace,
+                                  restore_jit),
         )
 
     if kind == SITE_REPLAY_CYCLES:
@@ -204,11 +242,16 @@ def arm_fault(runner: KernelRunner, site: FaultSite) -> ArmedFault:
             corrupted += 1
         machine._trace_cache[runner.entry] = replace(trace,
                                                      cycles=corrupted)
+        restore_jit = _poison_jit(
+            machine, runner.entry,
+            lambda jitfn: poisoned_cycles(jitfn, corrupted),
+        )
         return ArmedFault(
             site=site, kernel=kernel,
             description=(f"static cycle count {trace.cycles} -> "
                          f"{corrupted}"),
-            disarm=_restore_trace(machine, runner.entry, trace),
+            disarm=_restore_trace(machine, runner.entry, trace,
+                                  restore_jit),
         )
 
     if kind == SITE_OUTPUT_CORRUPT:

@@ -8,11 +8,22 @@ engine (:mod:`repro.rv64.replay`): each kernel is decoded once into a
 compiled closure sequence with a precomputed cycle cost, so an
 end-to-end protocol run touches fetch/decode and the cycle-accurate
 pipeline walker exactly once per kernel instead of once per field
-operation.  The replay path is bit- and cycle-identical to the
+operation.  ``engine="jit"`` goes one tier further
+(:mod:`repro.rv64.jit`): the compiled trace is code-generated into a
+single Python function per kernel, removing the per-step closure
+dispatch as well.  Both fast tiers are bit- and cycle-identical to the
 interpreter (proven operand-by-operand by ``tests/differential/``);
 pass ``cross_check=True`` to route every operation through the full
 interpreter with per-run golden-reference verification instead — the
 slow, belt-and-braces mode for debugging new kernels or pipelines.
+
+Throughput workloads can hand over whole vectors of operands at once:
+``mul_batch`` / ``sqr_batch`` / ``add_batch`` / ``sub_batch`` forward
+to :meth:`KernelRunner.run_batch`, which resolves the engine and the
+compiled artifact once per batch instead of once per element.  The
+batched entry points are element-wise identical to looping the scalar
+ones (same values, counters, cycle accounting); hardened contexts
+transparently take the scalar path so every safety check still fires.
 
 ``checked=True`` selects the production hardening mode in between
 (see ``docs/ROBUSTNESS.md``): execution stays on the fast replay path,
@@ -32,7 +43,7 @@ the :class:`FieldContext` API is plain modular arithmetic; the adapter
 hides the domain conversion by folding in ``R^2`` per multiplication
 (costing one extra kernel run — irrelevant for a functional check).
 
-Runners are pooled per (modulus, kernel, pipeline, checked) via
+Runners are pooled per (modulus, kernel, pipeline, checked, engine) via
 :func:`repro.kernels.registry.cached_runner`, so constructing many
 contexts — one per benchmark round, say — assembles and trace-compiles
 each kernel only once per process.
@@ -43,6 +54,7 @@ from __future__ import annotations
 from repro import telemetry
 from repro.errors import (
     FaultDetectedError,
+    KernelError,
     RecoveryExhaustedError,
     SimulationError,
 )
@@ -56,6 +68,7 @@ from repro.kernels.spec import (
     OP_FP_SQR,
     OP_FP_SUB,
 )
+from repro.rv64.machine import ENGINES
 from repro.rv64.pipeline import PipelineConfig, ROCKET_CONFIG
 
 #: Default bound on interpreter re-executions after a detected fault.
@@ -84,6 +97,7 @@ class SimulatedFieldContext(FieldContext):
         counter: OpCounter | None = None,
         pipeline_config: PipelineConfig = ROCKET_CONFIG,
         cross_check: bool = False,
+        engine: str | None = None,
         checked: bool = False,
         check_interval: int = DEFAULT_CHECK_INTERVAL,
         max_recovery_attempts: int = DEFAULT_RECOVERY_ATTEMPTS,
@@ -95,8 +109,21 @@ class SimulatedFieldContext(FieldContext):
         # cross_check escapes to the interpreter and verifies every run
         # against the kernel's golden reference; the default replays
         # compiled traces (equivalence is covered by the differential
-        # suite, so per-run re-verification would only re-prove it).
-        self._replay = not cross_check
+        # suite, so per-run re-verification would only re-prove it);
+        # engine="jit" selects the code-generated tier on top of that.
+        if engine is None:
+            engine = "interpreter" if cross_check else "replay"
+        elif engine not in ENGINES:
+            raise KernelError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        elif cross_check and engine != "interpreter":
+            raise KernelError(
+                "cross_check routes every operation through the "
+                f"interpreter; engine={engine!r} conflicts"
+            )
+        self.engine = engine
+        self._replay = engine != "interpreter"  # legacy alias
         self._checked = (
             _CheckedConfig(check_interval, max_recovery_attempts)
             if checked else None
@@ -128,6 +155,7 @@ class SimulatedFieldContext(FieldContext):
             self.p, f"{operation}.{self.variant}", self._pipeline_config,
             checked=cfg is not None,
             check_interval=cfg.interval if cfg is not None else None,
+            engine=self.engine,
         )
 
     # -- kernel dispatch -----------------------------------------------------
@@ -136,20 +164,28 @@ class SimulatedFieldContext(FieldContext):
         self,
         runner: KernelRunner,
         *values: int,
-        replay: bool | None = None,
+        engine: str | None = None,
     ) -> int:
         run = runner.run(*values, check=self.cross_check,
-                         replay=self._replay if replay is None else replay)
+                         engine=self.engine if engine is None else engine)
         self.simulated_instructions += run.instructions
         self.simulated_cycles += run.cycles
         return run.value
+
+    def _batch(self, runner: KernelRunner, operand_sets) -> list[int]:
+        runs = runner.run_batch(operand_sets, check=self.cross_check,
+                                engine=self.engine)
+        for run in runs:
+            self.simulated_instructions += run.instructions
+            self.simulated_cycles += run.cycles
+        return [run.value for run in runs]
 
     # -- the hardened execution path ----------------------------------------
 
     def _guarded(self, operation, slots, compute, reference):
         """Run *compute*; sample-check it; recover on divergence.
 
-        ``compute(replay)`` performs the kernel runs (re-reading the
+        ``compute(engine)`` performs the kernel runs (re-reading the
         runner slots, so a recovery swap takes effect), ``reference()``
         is the pure-Python ground truth.  Detection comes either from a
         runner's own checked mode (:class:`FaultDetectedError`, or a
@@ -158,7 +194,7 @@ class SimulatedFieldContext(FieldContext):
         """
         cfg = self._checked
         try:
-            value = compute(self._replay)
+            value = compute(self.engine)
         except (FaultDetectedError, SimulationError) as exc:
             self.fault_detections += 1
             return self._recover(operation, slots, compute, reference,
@@ -179,12 +215,14 @@ class SimulatedFieldContext(FieldContext):
         for slot in slots:
             runner = getattr(self, slot)
             name = runner.kernel.name
+            # drops the cached trace AND any compiled jit function
             runner.machine.invalidate_trace(runner.entry)
             registry.evict_runner(self.p, name, self._pipeline_config,
-                                  checked=True)
+                                  checked=True, engine=self.engine)
             fresh = registry.cached_runner(
                 self.p, name, self._pipeline_config,
                 checked=True, check_interval=cfg.interval,
+                engine=self.engine,
             )
             setattr(self, slot, fresh)
 
@@ -194,7 +232,7 @@ class SimulatedFieldContext(FieldContext):
         for _attempt in range(cfg.max_attempts):
             self._rebuild(slots)
             try:
-                value = compute(False)  # interpreter re-execution
+                value = compute("interpreter")  # full re-execution
             except (FaultDetectedError, SimulationError):
                 continue
             if value == reference():
@@ -220,10 +258,10 @@ class SimulatedFieldContext(FieldContext):
             return self._run(self._mul, a, b_mont)
         return self._guarded(
             "mul", ("_mul",),
-            lambda replay: self._run(
+            lambda engine: self._run(
                 self._mul, a,
-                self._run(self._mul, b, self._r2, replay=replay),
-                replay=replay),
+                self._run(self._mul, b, self._r2, engine=engine),
+                engine=engine),
             lambda: self._reference.mul(a, b),
         )
 
@@ -235,10 +273,10 @@ class SimulatedFieldContext(FieldContext):
             return self._run(self._mul, a, a_mont)
         return self._guarded(
             "sqr", ("_mul",),
-            lambda replay: self._run(
+            lambda engine: self._run(
                 self._mul, a,
-                self._run(self._mul, a, self._r2, replay=replay),
-                replay=replay),
+                self._run(self._mul, a, self._r2, engine=engine),
+                engine=engine),
             lambda: self._reference.sqr(a),
         )
 
@@ -250,7 +288,7 @@ class SimulatedFieldContext(FieldContext):
             return self._run(self._add, a, b)
         return self._guarded(
             "add", ("_add",),
-            lambda replay: self._run(self._add, a, b, replay=replay),
+            lambda engine: self._run(self._add, a, b, engine=engine),
             lambda: self._reference.add(a, b),
         )
 
@@ -262,6 +300,47 @@ class SimulatedFieldContext(FieldContext):
             return self._run(self._sub, a, b)
         return self._guarded(
             "sub", ("_sub",),
-            lambda replay: self._run(self._sub, a, b, replay=replay),
+            lambda engine: self._run(self._sub, a, b, engine=engine),
             lambda: self._reference.sub(a, b),
         )
+
+    # -- batched field operations (throughput workloads) ---------------------
+
+    def mul_batch(self, pairs) -> list[int]:
+        """Element-wise :meth:`mul` over ``[(a, b), ...]`` in two
+        kernel batches (Montgomery conversion, then product)."""
+        pairs = [(a % self.p, b % self.p) for a, b in pairs]
+        if self._checked is not None:
+            return [self.mul(a, b) for a, b in pairs]
+        self.counter.mul += len(pairs)
+        r2 = self._r2
+        monts = self._batch(self._mul, [(b, r2) for _, b in pairs])
+        return self._batch(
+            self._mul, [(a, bm) for (a, _), bm in zip(pairs, monts)])
+
+    def sqr_batch(self, values) -> list[int]:
+        """Element-wise :meth:`sqr` over ``[a, ...]``."""
+        values = [a % self.p for a in values]
+        if self._checked is not None:
+            return [self.sqr(a) for a in values]
+        self.counter.sqr += len(values)
+        r2 = self._r2
+        monts = self._batch(self._mul, [(a, r2) for a in values])
+        return self._batch(
+            self._mul, list(zip(values, monts)))
+
+    def add_batch(self, pairs) -> list[int]:
+        """Element-wise :meth:`add` over ``[(a, b), ...]``."""
+        pairs = [(a % self.p, b % self.p) for a, b in pairs]
+        if self._checked is not None:
+            return [self.add(a, b) for a, b in pairs]
+        self.counter.add += len(pairs)
+        return self._batch(self._add, pairs)
+
+    def sub_batch(self, pairs) -> list[int]:
+        """Element-wise :meth:`sub` over ``[(a, b), ...]``."""
+        pairs = [(a % self.p, b % self.p) for a, b in pairs]
+        if self._checked is not None:
+            return [self.sub(a, b) for a, b in pairs]
+        self.counter.sub += len(pairs)
+        return self._batch(self._sub, pairs)

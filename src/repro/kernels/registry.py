@@ -291,7 +291,7 @@ def cached_kernels(modulus: int) -> dict[str, Kernel]:
 
 
 _RUNNER_POOL: dict[
-    tuple[int, str, PipelineConfig, bool], KernelRunner
+    tuple[int, str, PipelineConfig, bool, str], KernelRunner
 ] = {}
 
 
@@ -302,6 +302,7 @@ def cached_runner(
     *,
     checked: bool = False,
     check_interval: int | None = None,
+    engine: str = "interpreter",
 ) -> KernelRunner:
     """Pooled :class:`KernelRunner` for one kernel of *modulus*.
 
@@ -319,12 +320,18 @@ def cached_runner(
     sharing the same kernel.  ``check_interval`` re-tunes the sampling
     interval of the pooled checked runner (last caller wins).
 
+    ``engine`` selects the runner's default execution tier and is part
+    of the pool key, so a jit-tier context (whose runner eagerly
+    compiles its trace to a Python function) never shares a machine
+    with an interpreter- or replay-tier one; eviction and rebuild stay
+    per-tier.
+
     Pool traffic is observable: telemetry counts hits and misses
     (``runner_pool_hits_total`` / ``runner_pool_misses_total``) and
     tracks the pool size, so a workload that keeps re-assembling
     kernels shows up immediately in ``repro profile`` output.
     """
-    key = (modulus, name, pipeline_config, checked)
+    key = (modulus, name, pipeline_config, checked, engine)
     runner = _RUNNER_POOL.get(key)
     if runner is not None:
         if checked and check_interval is not None:
@@ -336,7 +343,8 @@ def cached_runner(
         raise KernelError(
             f"no kernel {name!r} generated for modulus {modulus:#x}"
         )
-    runner = KernelRunner(kernel, pipeline_config=pipeline_config)
+    runner = KernelRunner(kernel, pipeline_config=pipeline_config,
+                          engine=engine)
     if checked:
         runner.enable_checked(
             check_interval if check_interval is not None
@@ -353,17 +361,18 @@ def evict_runner(
     pipeline_config: PipelineConfig = ROCKET_CONFIG,
     *,
     checked: bool = False,
+    engine: str = "interpreter",
 ) -> bool:
     """Drop one pooled runner; returns whether it was pooled.
 
     The recovery primitive of the hardened execution layer: a runner
-    whose machine state (memory image, const pool, replay cache) is
-    suspected of corruption is evicted so the next
-    :func:`cached_runner` call rebuilds it from scratch — re-assembly
-    from the pristine kernel source is the trust anchor.
+    whose machine state (memory image, const pool, replay cache,
+    compiled jit functions) is suspected of corruption is evicted so
+    the next :func:`cached_runner` call rebuilds it from scratch —
+    re-assembly from the pristine kernel source is the trust anchor.
     """
-    runner = _RUNNER_POOL.pop((modulus, name, pipeline_config, checked),
-                              None)
+    runner = _RUNNER_POOL.pop(
+        (modulus, name, pipeline_config, checked, engine), None)
     if runner is None:
         return False
     telemetry.record_runner_evicted(name)

@@ -9,13 +9,22 @@ functions, which we wrote from scratch") reduced to machine-checked
 equivalence.
 
 Because every generated kernel is branch-free straight-line code, a
-runner can execute it through the trace-replay engine
-(:mod:`repro.rv64.replay`): pass ``replay=True`` (per run, or as the
-constructor default) and the kernel is decoded once into a compiled
-trace — cached on the runner's machine — and subsequent runs replay
-bound closures at a fraction of the interpreter's cost while returning
-bit-identical limbs and the identical cycle count
-(``tests/differential/`` proves this for every kernel variant).
+runner can execute it through the fast execution tiers: ``engine=
+"replay"`` (or the legacy ``replay=True``) decodes the kernel once into
+a compiled closure trace (:mod:`repro.rv64.replay`); ``engine="jit"``
+code-generates that trace into a single Python function
+(:mod:`repro.rv64.jit`) that the runner calls directly — no
+per-instruction dispatch of any kind.  Both tiers return bit-identical
+limbs and the identical cycle count (``tests/differential/`` proves the
+three-way equivalence for every kernel variant), and both demote down
+the jit → replay → interpreter ladder whenever their preconditions fail
+(:class:`~repro.rv64.jit.JitError` refusals, non-replayable programs,
+cache-enabled timing, attached trace hooks).
+
+:meth:`KernelRunner.run_batch` executes one kernel over many operand
+sets in a single call, amortising the per-call setup (engine
+resolution, trace/function lookup, ``Machine.run`` bookkeeping) for
+server-style throughput workloads.
 """
 
 from __future__ import annotations
@@ -35,7 +44,12 @@ from repro.kernels.layout import (
 )
 from repro.kernels.spec import Kernel
 from repro.rv64.assembler import assemble
-from repro.rv64.machine import Machine
+from repro.rv64.machine import (
+    DEFAULT_STACK_TOP,
+    ENGINES,
+    HALT_ADDRESS,
+    Machine,
+)
 from repro.rv64.pipeline import PipelineConfig, PipelineModel, ROCKET_CONFIG
 from repro.rv64.registers import NUM_REGISTERS, register_index
 
@@ -103,11 +117,20 @@ class KernelRunner:
         pipeline_config: PipelineConfig = ROCKET_CONFIG,
         schedule: bool = False,
         replay: bool = False,
+        engine: str | None = None,
         checked: bool = False,
         check_interval: int = DEFAULT_CHECK_INTERVAL,
     ) -> None:
+        if engine is None:
+            engine = "replay" if replay else "interpreter"
+        elif engine not in ENGINES:
+            raise KernelError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         self.kernel = kernel
-        self.replay = replay
+        self.engine = engine
+        # legacy alias kept for callers that predate the engine ladder
+        self.replay = engine != "interpreter"
         # hardening state (checked mode + fault-injection seam); None
         # keeps the disabled hot path at a single boolean test
         self._hardening: _Hardening | None = None
@@ -134,6 +157,27 @@ class KernelRunner:
             )
         )
         self._result_reg = register_index("a0")
+        # fused entry thunks (marshal/call/read-out in one generated
+        # function); None on non-jit runners and unspecialisable
+        # layouts.  The replay-tier variant is built lazily on first
+        # run_batch (False = build attempted, layout unspecialisable).
+        self._entry_thunk = None
+        self._replay_thunk = None
+        if engine == "jit":
+            # compile eagerly: the pool hands out ready runners, and
+            # fault campaigns arm against a live compiled function
+            if self.machine.jit_supported(self.entry):
+                from repro.rv64.jit import compile_entry
+
+                self._entry_thunk = compile_entry(
+                    self.machine, self.entry,
+                    arg_plan=self._arg_plan,
+                    result_reg=self._result_reg,
+                    result_addr=RESULT_ADDR,
+                    out_limbs=kernel.output_limbs,
+                    radix=kernel.context.radix,
+                    stack_top=DEFAULT_STACK_TOP,
+                )
         if checked:
             self.enable_checked(check_interval)
 
@@ -184,27 +228,26 @@ class KernelRunner:
             if not self._hardening.active:
                 self._hardening = None
 
-    def _verify(self, values, value: int, result) -> None:
+    def _verify(self, values, value: int, cycles, engine: str) -> None:
         """Sampled checked-mode validation; raises FaultDetectedError."""
         kernel = self.kernel
         hardening = self._hardening
         telemetry.record_checked_run(kernel.name)
         expected = kernel.reference(*values)
         if value != expected:
-            telemetry.record_fault_detected(kernel.name, result.engine)
+            telemetry.record_fault_detected(kernel.name, engine)
             raise FaultDetectedError(
                 f"{kernel.name}: checked run diverged from the "
                 f"pure-Python reference: got {value:#x}, expected "
                 f"{expected:#x} for inputs {[hex(v) for v in values]}"
             )
-        if result.cycles is not None:
+        if cycles is not None:
             if hardening.cycle_baseline is None:
-                hardening.cycle_baseline = result.cycles
-            elif result.cycles != hardening.cycle_baseline:
-                telemetry.record_fault_detected(kernel.name,
-                                                result.engine)
+                hardening.cycle_baseline = cycles
+            elif cycles != hardening.cycle_baseline:
+                telemetry.record_fault_detected(kernel.name, engine)
                 raise FaultDetectedError(
-                    f"{kernel.name}: cycle count {result.cycles} != "
+                    f"{kernel.name}: cycle count {cycles} != "
                     f"baseline {hardening.cycle_baseline} — impossible "
                     f"for straight-line code with data-independent "
                     f"timing; the replay cache is suspect"
@@ -224,17 +267,79 @@ class KernelRunner:
         """Static code size (after pseudo-expansion)."""
         return self._static_size
 
+    def _resolve_engine(self, engine: str) -> str:
+        """Walk the jit -> replay -> interpreter demotion ladder.
+
+        Each rung demotes exactly one step when its precondition fails;
+        jit demotions are counted (``jit_demotions_total``), the
+        replay -> interpreter step keeps its PR-1 behaviour (silent
+        here; :meth:`Machine.run` records the per-run fallback).
+        """
+        machine = self.machine
+        if engine == "jit" and not machine.jit_supported(self.entry):
+            telemetry.record_jit_demotion("not_compilable")
+            engine = "replay"
+        if engine == "replay" and not machine.replay_supported(self.entry):
+            engine = "interpreter"  # e.g. cache-enabled timing
+        return engine
+
+    def _marshal_args(self, values) -> None:
+        """Write operand limbs + argument registers (lean-path state)."""
+        machine = self.machine
+        mem = machine.mem
+        regs = machine.state.regs._regs
+        radix = self.kernel.context.radix
+        regs[:] = _ZERO_REGS
+        for value, (address, limbs, reg_index) in zip(
+            values, self._arg_plan
+        ):
+            mem.write_bytes(address, b"".join(
+                w.to_bytes(8, "little")
+                for w in radix.to_limbs(value, limbs=limbs)
+            ))
+            regs[reg_index] = address
+        regs[self._result_reg] = RESULT_ADDR
+
+    def _execute_fast(self, engine: str):
+        """Run from the marshalled lean-path state.
+
+        Returns ``(engine_ran, cycles, instructions)``.  For jit the
+        compiled function is called directly — no ``Machine.run``
+        bookkeeping on the per-call path (that per-call overhead is
+        what the jit tier exists to eliminate); architectural pc/halted
+        and the ``machine_runs_total`` counter are maintained exactly
+        as :meth:`Machine.run` would.  The function is re-fetched from
+        the machine's cache on every call so trace invalidation (and
+        fault-campaign poisoning) takes effect immediately.
+        """
+        machine = self.machine
+        if engine == "jit" and not machine._trace_hooks:
+            jitfn = machine._jit_for(self.entry)
+            if jitfn is not None:
+                state = machine.state
+                jitfn.fn(state.regs._regs, DEFAULT_STACK_TOP)
+                state.pc = jitfn.exit_pc
+                state.halted = jitfn.halts
+                telemetry.record_machine_run("jit")
+                return "jit", jitfn.cycles, jitfn.instructions_retired
+        result = machine.run(self.entry, engine=engine)
+        return result.engine, result.cycles, result.instructions_retired
+
     def run(
         self,
         *values: int,
         check: bool = True,
         replay: bool | None = None,
+        engine: str | None = None,
     ) -> KernelRun:
         """Execute the kernel on *values*; returns the result and cost.
 
-        ``replay`` selects the trace-replay fast path (``None`` uses the
-        constructor default); the result is bit- and cycle-identical to
-        the interpreter's, just cheaper to produce.
+        ``engine`` selects the execution tier (``None`` uses the
+        constructor default; the legacy ``replay`` flag maps ``True`` to
+        ``"replay"`` and ``False`` to ``"interpreter"``).  Whatever the
+        tier, the result is bit- and cycle-identical to the
+        interpreter's, just cheaper to produce; unsatisfiable requests
+        demote down the jit -> replay -> interpreter ladder.
         """
         kernel = self.kernel
         if len(values) != len(kernel.input_limbs):
@@ -244,28 +349,63 @@ class KernelRunner:
             )
         radix = kernel.context.radix
         machine = self.machine
-        use_replay = self.replay if replay is None else replay
-        if use_replay and not machine.replay_supported(self.entry):
-            use_replay = False  # e.g. cache-enabled timing: interpret
+        if engine is None:
+            if replay is None:
+                engine = self.engine
+            else:
+                engine = "replay" if replay else "interpreter"
+        elif engine not in ENGINES:
+            raise KernelError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
 
-        if use_replay:
-            # lean path: the trace replays from architectural reset, so
-            # zeroing the register list is the only state to restore
-            # (the pipeline model is bypassed, not mutated)
-            mem = machine.mem
-            regs = machine.state.regs._regs
-            regs[:] = _ZERO_REGS
-            for value, (address, limbs, reg_index) in zip(
-                values, self._arg_plan
-            ):
-                mem.write_bytes(address, b"".join(
-                    w.to_bytes(8, "little")
-                    for w in radix.to_limbs(value, limbs=limbs)
-                ))
-                regs[reg_index] = address
-            regs[self._result_reg] = RESULT_ADDR
-            result = machine.run(self.entry, replay=True)
-            raw = mem.read_bytes(RESULT_ADDR, 8 * kernel.output_limbs)
+        if (engine == "jit" and self._hardening is None
+                and not machine._trace_hooks):
+            # fused fast path: one generated thunk does limb split,
+            # operand stores, register init, the compiled call and the
+            # read-out; falls through (None) if the compiled function
+            # was evicted or an operand is out of range
+            thunk = self._entry_thunk
+            if thunk is not None:
+                out = thunk(*values)
+                if out is not None:
+                    value, out_limbs, cycles, instructions = out
+                    telemetry.record_jit_cache_hit()
+                    telemetry.record_machine_run("jit")
+                    if check:
+                        expected = kernel.reference(*values)
+                        if value != expected:
+                            telemetry.record_kernel_check_failure(
+                                kernel.name)
+                            raise KernelError(
+                                f"{kernel.name} produced {value:#x}, "
+                                f"expected {expected:#x} for inputs "
+                                f"{[hex(v) for v in values]}"
+                            )
+                    if cycles is None:
+                        raise KernelError(
+                            f"{kernel.name}: execution produced no "
+                            f"cycle count (the runner's machine lost "
+                            f"its pipeline model)"
+                        )
+                    telemetry.record_kernel_run(
+                        kernel.name, "jit", cycles, instructions)
+                    return KernelRun(
+                        value=value,
+                        limbs=out_limbs,
+                        instructions=instructions,
+                        cycles=cycles,
+                    )
+        engine = self._resolve_engine(engine)
+
+        if engine != "interpreter":
+            # lean path: traces and jit functions run from architectural
+            # reset, so zeroing the register list is the only state to
+            # restore (the pipeline model is bypassed, not mutated)
+            self._marshal_args(values)
+            ran, cycles, instructions = self._execute_fast(engine)
+            raw = machine.mem.read_bytes(
+                RESULT_ADDR, 8 * kernel.output_limbs)
             out_limbs = tuple(
                 int.from_bytes(raw[i:i + 8], "little")
                 for i in range(0, len(raw), 8)
@@ -280,6 +420,9 @@ class KernelRunner:
                 machine.state.regs._regs[reg_index] = address
             machine.state.regs._regs[self._result_reg] = RESULT_ADDR
             result = machine.run(self.entry)
+            ran = result.engine
+            cycles = result.cycles
+            instructions = result.instructions_retired
             out_limbs = tuple(
                 machine.mem.load_words(RESULT_ADDR, kernel.output_limbs)
             )
@@ -296,7 +439,7 @@ class KernelRunner:
                     hardening.clock = 0
                     # raises FaultDetectedError on divergence, before
                     # the run is recorded anywhere downstream
-                    self._verify(values, value, result)
+                    self._verify(values, value, cycles, ran)
         if check:
             expected = kernel.reference(*values)
             if value != expected:
@@ -306,24 +449,205 @@ class KernelRunner:
                     f"expected {expected:#x} for inputs "
                     f"{[hex(v) for v in values]}"
                 )
-        if result.cycles is None:
+        if cycles is None:
             # a zero count would silently corrupt every downstream table
             raise KernelError(
                 f"{kernel.name}: execution produced no cycle count "
                 f"(the runner's machine lost its pipeline model)"
             )
-        # result.engine reports the engine that actually ran (a replay
-        # request can fall back, e.g. when a profiler hook is attached)
-        telemetry.record_kernel_run(
-            kernel.name, result.engine, result.cycles,
-            result.instructions_retired,
-        )
+        # ``ran`` reports the engine that actually ran (a jit or replay
+        # request can demote, e.g. when a profiler hook is attached)
+        telemetry.record_kernel_run(kernel.name, ran, cycles, instructions)
         return KernelRun(
             value=value,
             limbs=out_limbs,
-            instructions=result.instructions_retired,
-            cycles=result.cycles,
+            instructions=instructions,
+            cycles=cycles,
         )
+
+    def run_batch(
+        self,
+        operand_sets,
+        *,
+        check: bool = True,
+        engine: str | None = None,
+    ) -> list[KernelRun]:
+        """Execute the kernel once per operand set, amortising setup.
+
+        Semantically identical to ``[self.run(*v) for v in
+        operand_sets]`` — same values, limbs, cycle counts, and
+        per-run ``kernel_runs_total`` accounting — but the fast tiers
+        resolve the engine, compiled trace / jit function, and cycle
+        cost **once** and then loop only the marshal/execute/read-out
+        core per item.  One extra ``kernel_batches_total`` /
+        ``kernel_batch_items_total`` sample records the batching
+        itself.  Hardened runners (checked mode or an armed fault
+        hook) and interpreter runs take the exact scalar path per item
+        so every safety check still fires.
+        """
+        kernel = self.kernel
+        operand_sets = [tuple(values) for values in operand_sets]
+        arity = len(kernel.input_limbs)
+        for values in operand_sets:
+            if len(values) != arity:
+                raise KernelError(
+                    f"{kernel.name} expects {arity} operands, "
+                    f"got {len(values)}"
+                )
+        if engine is None:
+            engine = self.engine
+        elif engine not in ENGINES:
+            raise KernelError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        engine = self._resolve_engine(engine)
+        machine = self.machine
+        if (engine == "interpreter" or self._hardening is not None
+                or machine._trace_hooks):
+            runs = [self.run(*values, check=check, engine=engine)
+                    for values in operand_sets]
+            telemetry.record_kernel_batch(kernel.name, engine, len(runs))
+            return runs
+
+        mem = machine.mem
+        state = machine.state
+        regs = state.regs._regs
+        radix = kernel.context.radix
+        arg_plan = self._arg_plan
+        result_reg = self._result_reg
+        out_bytes = 8 * kernel.output_limbs
+        name = kernel.name
+        reference = kernel.reference if check else None
+        record_run = telemetry.record_kernel_run
+        record_machine = telemetry.record_machine_run
+        if engine == "jit":
+            thunk = self._entry_thunk
+        else:
+            thunk = self._replay_thunk
+            if thunk is None:
+                from repro.rv64.jit import compile_entry
+
+                thunk = compile_entry(
+                    machine, self.entry,
+                    arg_plan=arg_plan,
+                    result_reg=result_reg,
+                    result_addr=RESULT_ADDR,
+                    out_limbs=kernel.output_limbs,
+                    radix=radix,
+                    stack_top=DEFAULT_STACK_TOP,
+                    tier="replay",
+                )
+                self._replay_thunk = thunk if thunk is not None else False
+            if thunk is False:
+                thunk = None
+        if thunk is not None:
+            # fused batch loop: the generated thunk per item, nothing
+            # else (per-item telemetry mirrors the scalar path)
+            runs = []
+            for values in operand_sets:
+                out = thunk(*values)
+                if out is None:
+                    runs.append(self.run(*values, check=check,
+                                         engine=engine))
+                    continue
+                value, out_limbs, cycles, instructions = out
+                if reference is not None:
+                    expected = reference(*values)
+                    if value != expected:
+                        telemetry.record_kernel_check_failure(name)
+                        raise KernelError(
+                            f"{name} produced {value:#x}, expected "
+                            f"{expected:#x} for inputs "
+                            f"{[hex(v) for v in values]}"
+                        )
+                if cycles is None:
+                    raise KernelError(
+                        f"{name}: execution produced no cycle count "
+                        f"(the runner's machine lost its pipeline "
+                        f"model)"
+                    )
+                if engine == "jit":
+                    telemetry.record_jit_cache_hit()
+                record_machine(engine)
+                record_run(name, engine, cycles, instructions)
+                runs.append(KernelRun(
+                    value=value,
+                    limbs=out_limbs,
+                    instructions=instructions,
+                    cycles=cycles,
+                ))
+            telemetry.record_kernel_batch(name, engine, len(runs))
+            return runs
+        if engine == "jit":
+            jitfn = (machine._jit_cache.get(self.entry)
+                     or machine._jit_for(self.entry))
+            fn = jitfn.fn
+            cycles = jitfn.cycles
+            instructions = jitfn.instructions_retired
+            exit_pc, halts = jitfn.exit_pc, jitfn.halts
+
+            def execute() -> None:
+                fn(regs, DEFAULT_STACK_TOP)
+        else:
+            trace = machine._trace_for(self.entry)
+            steps = trace.steps
+            cycles = trace.cycles
+            instructions = trace.instructions_retired
+            exit_pc, halts = trace.exit_pc, trace.halts
+
+            def execute() -> None:
+                regs[1] = HALT_ADDRESS
+                regs[2] = DEFAULT_STACK_TOP
+                for step in steps:
+                    step()
+        if cycles is None:
+            raise KernelError(
+                f"{kernel.name}: execution produced no cycle count "
+                f"(the runner's machine lost its pipeline model)"
+            )
+        runs: list[KernelRun] = []
+        for values in operand_sets:
+            regs[:] = _ZERO_REGS
+            for value, (address, limbs, reg_index) in zip(
+                values, arg_plan
+            ):
+                mem.write_bytes(address, b"".join(
+                    w.to_bytes(8, "little")
+                    for w in radix.to_limbs(value, limbs=limbs)
+                ))
+                regs[reg_index] = address
+            regs[result_reg] = RESULT_ADDR
+            execute()
+            raw = mem.read_bytes(RESULT_ADDR, out_bytes)
+            out_limbs = tuple(
+                int.from_bytes(raw[i:i + 8], "little")
+                for i in range(0, out_bytes, 8)
+            )
+            value = radix.from_limbs(list(out_limbs))
+            if reference is not None:
+                expected = reference(*values)
+                if value != expected:
+                    telemetry.record_kernel_check_failure(name)
+                    raise KernelError(
+                        f"{name} produced {value:#x}, expected "
+                        f"{expected:#x} for inputs "
+                        f"{[hex(v) for v in values]}"
+                    )
+            if engine == "jit":
+                telemetry.record_jit_cache_hit()
+            record_machine(engine)
+            record_run(name, engine, cycles, instructions)
+            runs.append(KernelRun(
+                value=value,
+                limbs=out_limbs,
+                instructions=instructions,
+                cycles=cycles,
+            ))
+        if runs:
+            state.pc = exit_pc
+            state.halted = halts
+        telemetry.record_kernel_batch(name, engine, len(runs))
+        return runs
 
     def measure_cycles(self, *values: int) -> int:
         """Cycle count of one verified execution (timing is
@@ -352,8 +676,10 @@ def run_kernel(
     pipeline_config: PipelineConfig = ROCKET_CONFIG,
     check: bool = True,
     replay: bool = False,
+    engine: str | None = None,
 ) -> KernelRun:
     """One-shot convenience wrapper."""
     return KernelRunner(
-        kernel, pipeline_config=pipeline_config, replay=replay
+        kernel, pipeline_config=pipeline_config, replay=replay,
+        engine=engine,
     ).run(*values, check=check)

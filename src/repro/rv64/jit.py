@@ -1,0 +1,590 @@
+"""Trace-JIT execution engine: compile replay traces to Python code.
+
+The third (fastest) execution tier.  The replay engine
+(:mod:`repro.rv64.replay`) already removed fetch/decode/timing from the
+per-run cost, but every replayed instruction still pays one Python
+closure call and one register-list subscript per operand.
+:func:`compile_jit` removes that too: it takes a cached
+:class:`~repro.rv64.replay.CompiledTrace` and code-generates one
+module-level Python function whose body inlines the whole instruction
+sequence —
+
+* the register file becomes 32 local variables (``r0`` … ``r31``),
+  unpacked from the machine's register list on entry and written back
+  on exit, so the differential suite's full register-file comparison
+  holds bit-for-bit;
+* ALU and ISE semantics become inline integer expressions (the same
+  algebra as :mod:`repro.core.ise`'s pure value functions and the
+  interpreter's ``op`` lambdas — extension packages register their
+  expression emitters via :func:`register_template`, mirroring the
+  replay compiler registry);
+* ``ld``/``sd`` inline the same page fast path the replay closures use;
+* anything without a template falls back to the *extracted* interpreter
+  ``op`` lambda, or — last resort — to calling the replay step closure
+  bracketed by a locals↔register-list sync, so the jit tier never has
+  semantics of its own to drift.
+
+The generated source is ``compile()``d and ``exec``'d once; the
+precomputed static cycle count, histogram and retired-instruction total
+from the trace are attached verbatim, so telemetry and cycle accounting
+stay bit-identical to the interpreter and the replay engine
+(``tests/differential/`` proves the three-way equivalence for every
+kernel).
+
+**Fault-injection symmetry.**  Each replay step ``k`` maps to exactly
+one source block ``blocks[k]`` (the trace's ``step_instructions``
+alignment).  The poisoning helpers (:func:`poisoned_skip`,
+:func:`poisoned_xor`, :func:`poisoned_cycles`) rebuild the function
+from a corrupted block list, so the fault campaign's replay-cache
+sites corrupt a *live compiled function* the same way they corrupt the
+trace — and recovery must evict the compiled function, not just the
+trace (``Machine.invalidate_trace`` does both).
+
+Compilation *refuses* with :class:`JitError` (``reason`` is one of
+:data:`JitError.REASONS`) when the program has no replay trace or the
+generated source fails to compile; callers demote jit → replay →
+interpreter (the engine-demotion ladder, see ``docs/ROBUSTNESS.md``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, replace
+from typing import Callable, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.rv64.bits import MASK64, s32, u64
+from repro.rv64.isa import FMT_I, FMT_I_SHIFT, FMT_R, Instruction, InstrSpec
+from repro.rv64.machine import HALT_ADDRESS
+from repro.rv64.memory import PAGE_BITS, PAGE_MASK
+from repro.rv64.replay import CompiledTrace, _extract_alu_op
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rv64.machine import Machine
+
+
+class JitError(SimulationError):
+    """The trace cannot be compiled to a jit function.
+
+    ``reason`` is a short machine-readable code used by telemetry's
+    ``jit_rejects_total{reason=...}`` counter; the caller demotes to
+    the replay engine (which may itself fall back to the interpreter).
+    """
+
+    code = "jit"
+
+    #: Every reason `compile_jit` can refuse with (mirrored by the
+    #: demotion tests in ``tests/test_replay_fallback.py``).
+    REASONS = ("not_replayable", "codegen_error")
+
+    def __init__(self, message: str, *, reason: str = "other") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+#: Run-level demotion reasons recorded by ``jit_demotions_total``:
+#: the two compile refusals surface as ``not_compilable`` plus the
+#: same situational demotions the replay tier knows.
+DEMOTION_REASONS = ("not_compilable", "trace_hooks", "no_setup_return")
+
+
+#: An emitter: ``(ins, pc) -> source block`` (no base indentation;
+#: multi-line blocks separate lines with ``\n`` and may use nested
+#: indentation and the scratch locals ``_a``/``_pg``/``_o``).
+EmitFn = Callable[[Instruction, int], str]
+
+
+@dataclass(frozen=True)
+class JitFunction:
+    """One trace compiled to a Python function, plus its static cost.
+
+    ``blocks[k]`` is the source block generated for replay step ``k``;
+    ``namespace`` seeds the globals of any rebuild (the fault layer's
+    poisoning helpers re-``exec`` a modified block list into a copy).
+    """
+
+    entry: int
+    fn: Callable
+    source: str
+    blocks: tuple[str, ...]
+    namespace: dict
+    instructions_retired: int
+    cycles: int | None
+    histogram: Counter
+    halts: bool
+    exit_pc: int
+
+
+# ---------------------------------------------------------------------------
+# Template registry
+# ---------------------------------------------------------------------------
+
+_TEMPLATES: dict[str, EmitFn] = {}
+
+
+def register_template(mnemonic: str, emit: EmitFn) -> None:
+    """Register a source emitter for *mnemonic* (idempotent).
+
+    Extension packages (e.g. :mod:`repro.core.ise`) use this to inline
+    their custom instructions; unregistered mnemonics transparently
+    fall back to the extracted interpreter lambda (one call per
+    instruction — replay speed) or to the replay step closure itself,
+    so registration is purely a performance optimisation.
+    """
+    _TEMPLATES.setdefault(mnemonic, emit)
+
+
+def _addr(ins: Instruction) -> str:
+    """Effective-address expression (registers are already < 2^64)."""
+    if ins.imm == 0:
+        return f"r{ins.rs1}"
+    return f"(r{ins.rs1} + {ins.imm}) & M"
+
+
+def _signed(reg: str) -> str:
+    """Branch-free s64 reinterpretation of a [0, 2^64) local."""
+    return f"({reg} - (({reg} >> 63) << 64))"
+
+
+# -- constant-producing instructions ----------------------------------------
+
+def _emit_lui(ins: Instruction, pc: int) -> str:
+    return f"r{ins.rd} = {u64(s32(ins.imm << 12))}"
+
+
+def _emit_auipc(ins: Instruction, pc: int) -> str:
+    # pc is a static property of the trace: folds to a constant
+    return f"r{ins.rd} = {u64(pc + s32(ins.imm << 12))}"
+
+
+# -- loads and stores --------------------------------------------------------
+
+def _emit_ld(ins: Instruction, pc: int) -> str:
+    address = _addr(ins)
+    if ins.rd == 0:
+        return f"load({address}, 8)"  # may still trap
+    return (
+        f"_a = {address}\n"
+        f"_pg = pages.get(_a >> {PAGE_BITS})\n"
+        f"if _pg is None or _a & 7:\n"
+        f"    r{ins.rd} = load(_a, 8)\n"
+        f"else:\n"
+        f"    _o = _a & {PAGE_MASK}\n"
+        f"    r{ins.rd} = int.from_bytes(_pg[_o:_o + 8], 'little')"
+    )
+
+
+def _emit_sd(ins: Instruction, pc: int) -> str:
+    return (
+        f"_a = {_addr(ins)}\n"
+        f"_pg = pages.get(_a >> {PAGE_BITS})\n"
+        f"if _pg is None or _a & 7:\n"
+        f"    store(_a, r{ins.rs2}, 8)\n"
+        f"else:\n"
+        f"    _o = _a & {PAGE_MASK}\n"
+        f"    _pg[_o:_o + 8] = r{ins.rs2}.to_bytes(8, 'little')"
+    )
+
+
+def _make_load_emitter(size: int, signed: bool) -> EmitFn:
+    def emit(ins: Instruction, pc: int) -> str:
+        address = _addr(ins)
+        if ins.rd == 0:
+            return f"load({address}, {size}, signed={signed})"
+        if signed:
+            return f"r{ins.rd} = load({address}, {size}, signed=True) & M"
+        return f"r{ins.rd} = load({address}, {size})"
+
+    return emit
+
+
+def _make_store_emitter(size: int) -> EmitFn:
+    def emit(ins: Instruction, pc: int) -> str:
+        return f"store({_addr(ins)}, r{ins.rs2}, {size})"
+
+    return emit
+
+
+_TEMPLATES.update({
+    "lui": _emit_lui,
+    "auipc": _emit_auipc,
+    "ld": _emit_ld,
+    "sd": _emit_sd,
+    "lb": _make_load_emitter(1, True),
+    "lbu": _make_load_emitter(1, False),
+    "lh": _make_load_emitter(2, True),
+    "lhu": _make_load_emitter(2, False),
+    "lw": _make_load_emitter(4, True),
+    "lwu": _make_load_emitter(4, False),
+    "sb": _make_store_emitter(1),
+    "sh": _make_store_emitter(2),
+    "sw": _make_store_emitter(4),
+})
+
+
+# -- ALU expressions ---------------------------------------------------------
+# Inline the same 64-bit wrap-around algebra the interpreter lambdas in
+# repro.rv64.isa implement; placeholders: {a}=rs1, {b}=rs2 (both locals
+# holding values in [0, 2^64)), {sa}/{sb}=their s64 reinterpretation,
+# {imm}=sign-extended immediate, {uimm}=u64(imm), {sh}=imm & 63.
+
+_ALU_R_EXPR = {
+    "add": "({a} + {b}) & M",
+    "sub": "({a} - {b}) & M",
+    "xor": "{a} ^ {b}",
+    "or": "{a} | {b}",
+    "and": "{a} & {b}",
+    "slt": "1 if {sa} < {sb} else 0",
+    "sltu": "1 if {a} < {b} else 0",
+    "sll": "({a} << ({b} & 63)) & M",
+    "srl": "{a} >> ({b} & 63)",
+    "sra": "({sa} >> ({b} & 63)) & M",
+    "mul": "({a} * {b}) & M",
+    "mulh": "(({sa} * {sb}) >> 64) & M",
+    "mulhsu": "(({sa} * {b}) >> 64) & M",
+    "mulhu": "({a} * {b}) >> 64",
+}
+
+_ALU_I_EXPR = {
+    "addi": "({a} + {imm}) & M",
+    "xori": "({a} ^ {imm}) & M",
+    "ori": "{a} | {uimm}",
+    "andi": "{a} & {uimm}",
+    "slti": "1 if {sa} < {imm} else 0",
+    "sltiu": "1 if {a} < {uimm} else 0",
+    "slli": "({a} << {sh}) & M",
+    "srli": "{a} >> {sh}",
+    "srai": "({sa} >> {sh}) & M",
+}
+
+
+def _make_alu_r_emitter(expr: str) -> EmitFn:
+    def emit(ins: Instruction, pc: int) -> str:
+        a, b = f"r{ins.rs1}", f"r{ins.rs2}"
+        return f"r{ins.rd} = " + expr.format(
+            a=a, b=b, sa=_signed(a), sb=_signed(b))
+
+    return emit
+
+
+def _make_alu_i_emitter(expr: str) -> EmitFn:
+    def emit(ins: Instruction, pc: int) -> str:
+        if ins.mnemonic == "addi" and ins.imm == 0:
+            return f"r{ins.rd} = r{ins.rs1}"  # mv: li/pseudo expansion
+        a = f"r{ins.rs1}"
+        return f"r{ins.rd} = " + expr.format(
+            a=a, sa=_signed(a), imm=ins.imm, uimm=u64(ins.imm),
+            sh=ins.imm & 63)
+
+    return emit
+
+
+for _mnemonic, _expr in _ALU_R_EXPR.items():
+    _TEMPLATES[_mnemonic] = _make_alu_r_emitter(_expr)
+for _mnemonic, _expr in _ALU_I_EXPR.items():
+    _TEMPLATES[_mnemonic] = _make_alu_i_emitter(_expr)
+
+
+# ---------------------------------------------------------------------------
+# Source assembly
+# ---------------------------------------------------------------------------
+
+_REGLIST = ", ".join(f"r{i}" for i in range(32))
+
+#: Locals ↔ register-list sync statements, used around the last-resort
+#: replay-step fallback (and as the function prologue/epilogue).
+_UNPACK = f"({_REGLIST}) = regs"
+_WRITEBACK = f"regs[:] = ({_REGLIST})"
+
+
+def _render(blocks: list[str] | tuple[str, ...]) -> str:
+    lines = [
+        "def __jit_kernel(regs, stack_top):",
+        f"    {_UNPACK}",
+        f"    r1 = {HALT_ADDRESS}",   # ra -> the halt sentinel
+        "    r2 = stack_top",         # sp
+    ]
+    for block in blocks:
+        for line in block.split("\n"):
+            lines.append("    " + line)
+    lines.append(f"    {_WRITEBACK}")
+    return "\n".join(lines) + "\n"
+
+
+def _build_function(
+    blocks: list[str] | tuple[str, ...], namespace: dict, *, tag: str
+) -> tuple[Callable, str]:
+    source = _render(blocks)
+    try:
+        code = compile(source, f"<jit:{tag}>", "exec")
+        scope = dict(namespace)
+        exec(code, scope)
+        fn = scope["__jit_kernel"]
+    except JitError:
+        raise
+    except Exception as exc:
+        raise JitError(
+            f"generated source for {tag} failed to build: {exc}",
+            reason="codegen_error",
+        ) from exc
+    return fn, source
+
+
+def _emit_step(
+    trace: CompiledTrace,
+    index: int,
+    pc: int,
+    ins: Instruction,
+    spec: InstrSpec,
+    namespace: dict,
+) -> str:
+    emit = _TEMPLATES.get(ins.mnemonic)
+    if emit is not None:
+        return emit(ins, pc)
+    # no template: bind the extracted interpreter lambda (replay speed,
+    # interpreter semantics by construction) ...
+    op = _extract_alu_op(spec)
+    if op is not None and ins.rd != 0:
+        if spec.fmt == FMT_R:
+            namespace[f"_op{index}"] = op
+            return f"r{ins.rd} = _op{index}(r{ins.rs1}, r{ins.rs2})"
+        if spec.fmt in (FMT_I, FMT_I_SHIFT):
+            namespace[f"_op{index}"] = op
+            return f"r{ins.rd} = _op{index}(r{ins.rs1}, {ins.imm})"
+    # ... or, last resort, call the replay step closure itself inside a
+    # locals↔register-list sync — slower, never wrong (covers generic
+    # spec.execute steps, including pc-relative ones: the closure
+    # restores pc itself)
+    namespace[f"_step{index}"] = trace.steps[index]
+    return f"{_WRITEBACK}\n_step{index}()\n{_UNPACK}"
+
+
+def compile_jit_from_trace(
+    machine: Machine, trace: CompiledTrace
+) -> JitFunction:
+    """Compile a (healthy) replay trace into a :class:`JitFunction`."""
+    if len(trace.step_instructions) != len(trace.steps):
+        raise JitError(
+            f"trace for {trace.entry:#x} has no step/instruction "
+            f"alignment (compiled before the jit tier existed?)",
+            reason="codegen_error",
+        )
+    mem = machine.state.mem
+    namespace = {
+        "M": MASK64,
+        "pages": mem._pages,
+        "load": mem.load,
+        "store": mem.store,
+    }
+    blocks = [
+        _emit_step(trace, index, pc, ins, spec, namespace)
+        for index, (pc, ins, spec) in enumerate(trace.step_instructions)
+    ]
+    tag = f"{trace.entry:#x}"
+    fn, source = _build_function(blocks, namespace, tag=tag)
+    return JitFunction(
+        entry=trace.entry,
+        fn=fn,
+        source=source,
+        blocks=tuple(blocks),
+        namespace=namespace,
+        instructions_retired=trace.instructions_retired,
+        cycles=trace.cycles,
+        histogram=trace.histogram,
+        halts=trace.halts,
+        exit_pc=trace.exit_pc,
+    )
+
+
+def compile_jit(machine: Machine, entry: int) -> JitFunction:
+    """Compile the straight-line program at *entry* to a jit function.
+
+    Raises :class:`JitError` if the program has no replay trace (the
+    jit tier compiles *traces*, so everything replay refuses, jit
+    refuses too) or if code generation fails; the caller should demote
+    to the replay engine.
+    """
+    trace = machine._trace_for(entry)
+    if trace is None:
+        raise JitError(
+            f"no replay trace for entry {entry:#x}: the jit tier "
+            f"compiles replay traces",
+            reason="not_replayable",
+        )
+    return compile_jit_from_trace(machine, trace)
+
+
+# ---------------------------------------------------------------------------
+# Entry thunks: fused marshal / call / read-out for KernelRunner
+# ---------------------------------------------------------------------------
+
+def _pack_expr(var: str, bits: int, limbs: int) -> str:
+    """Expression packing *var* into ``limbs`` little-endian 64-bit
+    words as one integer (``to_limbs`` then byte-concatenation, fused;
+    the caller guards ``0 <= var < 2^(bits*limbs)``)."""
+    if bits == 64:
+        return var
+    mask = (1 << bits) - 1
+    parts = [f"({var} & {mask})"]
+    for i in range(1, limbs):
+        parts.append(f"((({var} >> {bits * i}) & {mask}) << {64 * i})")
+    return " | ".join(parts)
+
+
+def compile_entry(
+    machine: Machine,
+    entry: int,
+    *,
+    arg_plan,
+    result_reg: int,
+    result_addr: int,
+    out_limbs: int,
+    radix,
+    stack_top: int,
+    tier: str = "jit",
+):
+    """Generate a fused kernel-entry thunk for one runner, or ``None``.
+
+    The scalar jit run path still pays per-call Python overhead around
+    the compiled function: limb decomposition (``Radix.to_limbs``),
+    ``Memory.write_bytes`` per operand, register zeroing, the read-out
+    and ``Radix.from_limbs``.  Those are all *static* per kernel — the
+    operand addresses, limb widths and counts never change — so this
+    second (tiny) code generator bakes them into one function::
+
+        thunk(a, b) -> (value, limbs, cycles, instructions) | None
+
+    with the argument/result buffers resolved to ``(page, offset)``
+    pairs at build time (sparse-memory pages are allocated on first
+    touch and then stable, see :mod:`repro.rv64.memory`).
+
+    ``tier`` selects the execution core: ``"jit"`` calls the compiled
+    :class:`JitFunction`; ``"replay"`` loops the compiled trace's step
+    closures (used by :meth:`KernelRunner.run_batch` to amortise
+    per-call marshalling for the replay tier too — the *scalar* replay
+    path deliberately keeps its PR-1 shape).  Either way the compiled
+    artifact is re-fetched from the machine's cache **on every call**,
+    so trace invalidation and fault-campaign poisoning keep their
+    exact semantics; the thunk returns ``None`` (caller falls back to
+    the generic path) when the cache is empty or an operand is out of
+    representable range (where ``to_limbs`` would raise).  Returns
+    ``None`` at build time when the layout cannot be specialised
+    (page-crossing or misaligned buffers).
+    """
+    if tier not in ("jit", "replay"):
+        raise JitError(f"unknown entry-thunk tier {tier!r}",
+                       reason="codegen_error")
+    mem = machine.state.mem
+    bits = radix.bits
+    spans = []
+    for address, limbs, reg_index in arg_plan:
+        nbytes = 8 * limbs
+        if address % 8 or (address & PAGE_MASK) + nbytes > PAGE_MASK + 1:
+            return None
+        spans.append((mem._page_for(address), address & PAGE_MASK,
+                      limbs, reg_index, address))
+    result_bytes = 8 * out_limbs
+    if (result_addr % 8
+            or (result_addr & PAGE_MASK) + result_bytes > PAGE_MASK + 1):
+        return None
+
+    args = ", ".join(f"v{i}" for i in range(len(spans)))
+    lines = [
+        f"def __jit_entry({args}):",
+        f"    _jf = _cache.get({entry})",
+        "    if _jf is None:",
+        "        return None",
+    ]
+    namespace: dict = {
+        "_cache": (machine._jit_cache if tier == "jit"
+                   else machine._trace_cache),
+        "_regs": machine.state.regs._regs,
+        "_zero": [0] * len(machine.state.regs._regs),
+        "_st": machine.state,
+        "_pgR": mem._page_for(result_addr),
+    }
+    for i, (page, offset, limbs, reg_index, address) in enumerate(spans):
+        namespace[f"_pg{i}"] = page
+        lines += [
+            f"    if v{i} < 0 or (v{i} >> {bits * limbs}):",
+            "        return None",  # out of range: generic path raises
+            f"    _pg{i}[{offset}:{offset + 8 * limbs}] = "
+            f"({_pack_expr(f'v{i}', bits, limbs)})"
+            f".to_bytes({8 * limbs}, 'little')",
+        ]
+    lines.append("    _regs[:] = _zero")
+    for _page, _offset, _limbs, reg_index, address in spans:
+        lines.append(f"    _regs[{reg_index}] = {address}")
+    lines.append(f"    _regs[{result_reg}] = {result_addr}")
+    if tier == "jit":
+        lines.append(f"    _jf.fn(_regs, {stack_top})")
+    else:
+        # the replay core: exactly Machine._replay's loop, with the
+        # ra/sp setup the trace expects
+        lines += [
+            f"    _regs[1] = {HALT_ADDRESS}",
+            f"    _regs[2] = {stack_top}",
+            "    for _s in _jf.steps:",
+            "        _s()",
+        ]
+    lines += [
+        "    _st.pc = _jf.exit_pc",
+        "    _st.halted = _jf.halts",
+        f"    _raw = _pgR[{result_addr & PAGE_MASK}:"
+        f"{(result_addr & PAGE_MASK) + result_bytes}]",
+    ]
+    for i in range(out_limbs):
+        lines.append(
+            f"    _w{i} = int.from_bytes(_raw[{8 * i}:{8 * i + 8}], "
+            f"'little')"
+        )
+    # from_limbs uses addition, not OR: read-out limbs may be
+    # non-canonical (delayed carries) and overlap bit ranges
+    value_expr = " + ".join(
+        f"_w{i}" if i == 0 else f"(_w{i} << {bits * i})"
+        for i in range(out_limbs)
+    )
+    limbs_expr = ("(" + ", ".join(f"_w{i}" for i in range(out_limbs))
+                  + ("," if out_limbs == 1 else "") + ")")
+    lines.append(
+        f"    return ({value_expr}), {limbs_expr}, "
+        f"_jf.cycles, _jf.instructions_retired"
+    )
+    source = "\n".join(lines) + "\n"
+    try:
+        code = compile(source, f"<jit:{entry:#x}|entry-{tier}>", "exec")
+        scope = dict(namespace)
+        exec(code, scope)
+        return scope["__jit_entry"]
+    except Exception:  # pragma: no cover - thunks are optional
+        return None    # the generic path is always available
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection poisoning helpers (see repro.fault.inject)
+# ---------------------------------------------------------------------------
+
+def poisoned_skip(jitfn: JitFunction, k: int) -> JitFunction:
+    """A copy of *jitfn* with source block *k* dropped (step skip)."""
+    blocks = jitfn.blocks[:k] + jitfn.blocks[k + 1:]
+    fn, source = _build_function(
+        blocks, jitfn.namespace, tag=f"{jitfn.entry:#x}|skip{k}")
+    return replace(jitfn, fn=fn, source=source, blocks=blocks)
+
+
+def poisoned_xor(
+    jitfn: JitFunction, k: int, reg: int, mask: int
+) -> JitFunction:
+    """A copy of *jitfn* whose block *k* additionally flips register
+    bits (the jit image of a corrupted replay closure payload)."""
+    blocks = (jitfn.blocks[:k]
+              + (jitfn.blocks[k] + f"\nr{reg} ^= {mask}",)
+              + jitfn.blocks[k + 1:])
+    fn, source = _build_function(
+        blocks, jitfn.namespace, tag=f"{jitfn.entry:#x}|xor{k}")
+    return replace(jitfn, fn=fn, source=source, blocks=blocks)
+
+
+def poisoned_cycles(jitfn: JitFunction, cycles: int) -> JitFunction:
+    """A copy of *jitfn* reporting a corrupted static cycle count."""
+    return replace(jitfn, cycles=cycles)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Iterator
 
 from repro import telemetry
@@ -32,6 +33,9 @@ HALT_ADDRESS = 0x0000_0000_DEAD_0000
 #: Default stack top for kernels that need scratch memory.
 DEFAULT_STACK_TOP = 0x0000_0000_7FFF_F000
 
+#: The execution tiers of :meth:`Machine.run`, slowest to fastest.
+ENGINES = ("interpreter", "replay", "jit")
+
 TraceHook = Callable[["MachineState", Instruction], None]
 
 
@@ -39,11 +43,11 @@ TraceHook = Callable[["MachineState", Instruction], None]
 class ExecutionResult:
     """Summary of one :meth:`Machine.run` invocation.
 
-    ``engine`` names the execution engine that *actually* ran —
-    ``"interpreter"`` or ``"replay"`` — which matters because a
-    ``replay=True`` request silently falls back to the interpreter
-    when exactness cannot be guaranteed (trace hooks attached,
-    non-replayable program, ``setup_return=False``).  Telemetry and
+    ``engine`` names the execution engine that *actually* ran — one of
+    :data:`ENGINES` — which matters because a requested engine silently
+    demotes down the jit → replay → interpreter ladder when exactness
+    cannot be guaranteed (trace hooks attached, non-replayable or
+    non-compilable program, ``setup_return=False``).  Telemetry and
     profiling must consume this field rather than echo the request.
     """
 
@@ -98,6 +102,9 @@ class Machine:
         # decode-once/replay-many caches (see repro.rv64.replay)
         self._trace_cache: dict[int, object] = {}
         self._replay_rejected: set[int] = set()
+        # trace-JIT caches (see repro.rv64.jit)
+        self._jit_cache: dict[int, object] = {}
+        self._jit_rejected: set[int] = set()
 
     # -- program management ------------------------------------------------
 
@@ -117,6 +124,8 @@ class Machine:
             self._program[base + 4 * index] = (ins, spec)
         self._trace_cache.clear()
         self._replay_rejected.clear()
+        self._jit_cache.clear()
+        self._jit_rejected.clear()
         return base
 
     def program_extent(self) -> tuple[int, int]:
@@ -178,6 +187,7 @@ class Machine:
         setup_return: bool = True,
         stack_top: int = DEFAULT_STACK_TOP,
         replay: bool = False,
+        engine: str | None = None,
     ) -> ExecutionResult:
         """Run from *entry* until halt; returns retired-instruction stats.
 
@@ -186,18 +196,45 @@ class Machine:
         ``ret`` ends the simulation — the calling convention used by all
         generated kernels.
 
-        With ``replay=True`` the program is decoded once into a compiled
-        trace (see :mod:`repro.rv64.replay`) and subsequent runs replay
-        the bound closures, skipping fetch/decode and the per-
-        instruction timing walk; the architectural result and the
-        reported cycle count are identical to the interpreter's for a
-        run from :meth:`reset` (the cycle cost of straight-line code is
-        a static property of the trace, so the attached pipeline model
-        is left untouched).  Programs that cannot be proven replayable —
-        internal control flow, trace hooks, cache-enabled timing —
-        silently fall back to the interpreter.
+        ``engine`` selects the execution tier (one of :data:`ENGINES`;
+        ``None`` honours the legacy ``replay`` flag):
+
+        * ``"replay"`` decodes the program once into a compiled trace
+          (see :mod:`repro.rv64.replay`) and replays the bound
+          closures, skipping fetch/decode and the per-instruction
+          timing walk; the architectural result and the reported cycle
+          count are identical to the interpreter's for a run from
+          :meth:`reset` (the cycle cost of straight-line code is a
+          static property of the trace, so the attached pipeline model
+          is left untouched);
+        * ``"jit"`` additionally code-generates the trace into a single
+          Python function (see :mod:`repro.rv64.jit`) — no per-step
+          closure dispatch at all, same bit-exact contract.
+
+        A requested tier silently demotes down the jit → replay →
+        interpreter ladder whenever exactness cannot be guaranteed —
+        internal control flow, trace hooks, cache-enabled timing,
+        ``setup_return=False``, a codegen refusal; the result's
+        ``engine`` field reports what actually ran.
         """
-        if replay:
+        if engine is None:
+            engine = "replay" if replay else "interpreter"
+        elif engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        if engine == "jit":
+            if self._trace_hooks:
+                telemetry.record_jit_demotion("trace_hooks")
+            elif not setup_return:
+                telemetry.record_jit_demotion("no_setup_return")
+            else:
+                jitfn = self._jit_for(entry)
+                if jitfn is not None:
+                    return self._run_jit(jitfn, stack_top)
+                telemetry.record_jit_demotion("not_compilable")
+            engine = "replay"  # demote one rung; replay re-checks below
+        if engine == "replay":
             if self._trace_hooks:
                 telemetry.record_replay_fallback("trace_hooks")
             elif not setup_return:
@@ -289,17 +326,51 @@ class Machine:
         """Whether the program at *entry* compiles to a replay trace."""
         return self._trace_for(entry) is not None
 
+    def _jit_for(self, entry: int):
+        """Compile (once) and cache the jit function for *entry*."""
+        jitfn = self._jit_cache.get(entry)
+        if jitfn is not None:
+            telemetry.record_jit_cache_hit()
+            return jitfn
+        if entry in self._jit_rejected:
+            return None
+        from repro.rv64.jit import JitError, compile_jit
+
+        start = perf_counter()
+        try:
+            jitfn = compile_jit(self, entry)
+        except JitError as exc:
+            telemetry.record_jit_reject(exc.reason)
+            self._jit_rejected.add(entry)
+            return None
+        telemetry.record_jit_compile(perf_counter() - start)
+        self._jit_cache[entry] = jitfn
+        return jitfn
+
+    def jit_supported(self, entry: int) -> bool:
+        """Whether the program at *entry* compiles to a jit function."""
+        if entry in self._jit_cache:
+            return True  # capability probe: not a served run, no
+            # jit_cache_hits_total sample (that counter counts runs)
+        return self._jit_for(entry) is not None
+
     def invalidate_trace(self, entry: int) -> bool:
         """Drop the cached replay trace for *entry*; returns whether one
         was cached.
 
         This is the recovery primitive of the hardened execution layer
         (see ``docs/ROBUSTNESS.md``): a trace suspected of corruption is
-        invalidated and the next ``run(replay=True)`` recompiles it from
-        the (immutable) program image.  A previous rejection is also
-        forgotten, so a once-unreplayable entry gets re-examined.
+        invalidated and the next fast-tier run recompiles it from the
+        (immutable) program image.  The compiled jit function is
+        dropped alongside the trace — it was generated *from* the
+        suspect trace, so restoring trust means evicting both tiers.
+        A previous rejection is also forgotten, so a once-unreplayable
+        entry gets re-examined.
         """
         self._replay_rejected.discard(entry)
+        self._jit_rejected.discard(entry)
+        if self._jit_cache.pop(entry, None) is not None:
+            telemetry.record_jit_evicted()
         removed = self._trace_cache.pop(entry, None) is not None
         if removed:
             telemetry.record_trace_invalidated()
@@ -325,4 +396,22 @@ class Machine:
                 else Counter()
             ),
             engine="replay",
+        )
+
+    def _run_jit(self, jitfn, stack_top: int) -> ExecutionResult:
+        """Execute a compiled jit function; mirrors one replayed run."""
+        state = self.state
+        jitfn.fn(state.regs._regs, stack_top)
+        state.pc = jitfn.exit_pc
+        state.halted = jitfn.halts
+        telemetry.record_machine_run("jit")
+        return ExecutionResult(
+            instructions_retired=jitfn.instructions_retired,
+            cycles=jitfn.cycles,
+            histogram=(
+                Counter(jitfn.histogram)
+                if self.collect_histogram
+                else Counter()
+            ),
+            engine="jit",
         )

@@ -99,6 +99,13 @@ class CompiledTrace:
     no timing model); ``histogram`` is the static mnemonic count of the
     trace, which equals the dynamic histogram because the code is
     straight-line.
+
+    ``step_instructions`` records, aligned 1:1 with ``steps``, the
+    ``(pc, instruction, spec)`` that produced each step (dropped no-ops
+    are absent from both).  The trace-JIT tier (:mod:`repro.rv64.jit`)
+    consumes this alignment to emit exactly one source block per replay
+    step, so fault injection can corrupt step *k* symmetrically in both
+    tiers.
     """
 
     entry: int
@@ -108,6 +115,9 @@ class CompiledTrace:
     histogram: Counter
     halts: bool       # ends in ebreak (vs. ret to the halt sentinel)
     exit_pc: int      # pc the interpreter would be left at
+    step_instructions: tuple[
+        tuple[int, Instruction, InstrSpec], ...
+    ] = ()
 
 
 # ---------------------------------------------------------------------------
@@ -397,6 +407,7 @@ def compile_trace(machine: Machine, entry: int) -> CompiledTrace:
     cycles = _static_cycles(sequence, machine.pipeline)
 
     steps: list[TraceStep] = []
+    step_instructions: list[tuple[int, Instruction, InstrSpec]] = []
     histogram: Counter[str] = Counter()
     for pc, ins, spec in sequence[:-1]:  # terminal ret/ebreak: no effect
         histogram[ins.mnemonic] += 1
@@ -409,6 +420,7 @@ def compile_trace(machine: Machine, entry: int) -> CompiledTrace:
                 step = _compile_generic(state, spec, ins, pc)
         if step is not None:
             steps.append(step)
+            step_instructions.append((pc, ins, spec))
     final_pc, final_ins, _ = sequence[-1]
     histogram[final_ins.mnemonic] += 1
     halts = final_ins.mnemonic == "ebreak"
@@ -423,4 +435,5 @@ def compile_trace(machine: Machine, entry: int) -> CompiledTrace:
         histogram=histogram,
         halts=halts,
         exit_pc=final_pc + 4 if halts else HALT_ADDRESS,
+        step_instructions=tuple(step_instructions),
     )

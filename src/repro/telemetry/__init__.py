@@ -45,9 +45,12 @@ __all__ = [
     "enabled", "enable", "disable", "reset", "capture", "span",
     "add_cycles", "render_span_tree",
     "record_kernel_run", "record_kernel_check_failure",
+    "record_kernel_batch",
     "record_pool_access", "record_machine_run",
     "record_replay_fallback", "record_trace_compile",
     "record_trace_reject",
+    "record_jit_compile", "record_jit_reject", "record_jit_demotion",
+    "record_jit_cache_hit", "record_jit_evicted",
     "record_fault_injected", "record_fault_detected",
     "record_fault_recovery", "record_checked_run",
     "record_runner_evicted", "record_trace_invalidated",
@@ -211,6 +214,74 @@ def record_trace_reject(reason: str) -> None:
     REGISTRY.counter(
         "trace_rejects_total", "replay compilation refusals"
     ).inc(reason=reason)
+
+
+# -- the trace-JIT tier (see repro.rv64.jit) ---------------------------------
+
+
+def record_kernel_batch(kernel: str, engine: str, n: int) -> None:
+    """One :meth:`KernelRunner.run_batch` call of *n* operand sets.
+
+    Per-run cycles/instructions still flow through
+    :func:`record_kernel_run` (once per item), keeping the span
+    cycle-attribution invariant and the ``kernel_runs_total`` counts
+    identical whether a workload batches or loops.
+    """
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "kernel_batches_total", "batched kernel executions"
+    ).inc(kernel=kernel, engine=engine)
+    REGISTRY.counter(
+        "kernel_batch_items_total", "operand sets executed in batches"
+    ).inc(n, kernel=kernel, engine=engine)
+
+
+def record_jit_compile(seconds: float) -> None:
+    """A successful trace-JIT compilation, with its wall-clock cost."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter("jit_compiles_total", "jit functions compiled").inc()
+    REGISTRY.histogram(
+        "jit_compile_seconds", "trace-JIT compilation wall time"
+    ).observe(seconds)
+
+
+def record_jit_reject(reason: str) -> None:
+    """A trace-JIT compilation refusal, by :class:`JitError` reason."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "jit_rejects_total", "jit compilation refusals"
+    ).inc(reason=reason)
+
+
+def record_jit_demotion(reason: str) -> None:
+    """A requested jit run demoted down the engine ladder, by reason."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "jit_demotions_total",
+        "jit requests demoted to replay/interpreter",
+    ).inc(reason=reason)
+
+
+def record_jit_cache_hit() -> None:
+    """A jit run served by an already-compiled function."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "jit_cache_hits_total", "jit function cache hits"
+    ).inc()
+
+
+def record_jit_evicted() -> None:
+    """A compiled jit function dropped by Machine.invalidate_trace."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "jit_evictions_total", "compiled jit functions evicted"
+    ).inc()
 
 
 # -- fault injection and the hardened execution layer -----------------------

@@ -1,0 +1,173 @@
+"""The jit tier must be architecturally and cycle-count identical to
+the interpreter AND the replay engine, for every kernel.
+
+Same discipline as ``test_replay_vs_interpreter.py``, one tier up:
+each check runs the *same* runner (same machine, same assembled image)
+through all three engines and compares result limbs, retired
+instructions, cycle counts and the complete final register file.  The
+golden cycle snapshot (``tests/golden_cycles.json``) is additionally
+asserted against jit-engine measurements — introducing the code
+generator must not move a single pinned number.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import random
+
+import pytest
+
+from repro.csidh.parameters import csidh_toy
+from repro.kernels.registry import cached_kernels
+from repro.kernels.runner import KernelRunner
+from repro.kernels.spec import (
+    ALL_VARIANTS,
+    OP_FP_ADD,
+    OP_FP_MUL,
+    OP_FP_SQR,
+    OP_FP_SUB,
+)
+
+from tests.differential.generate_golden import GOLDEN_PATH
+from tests.helpers import boundary_operand_values
+
+FIELD_OPERATIONS = (OP_FP_MUL, OP_FP_SQR, OP_FP_ADD, OP_FP_SUB)
+FIELD_KERNELS = [
+    f"{operation}.{variant}"
+    for operation in FIELD_OPERATIONS
+    for variant in ALL_VARIANTS
+]
+
+_RUNNERS: dict[str, KernelRunner] = {}
+
+
+def runner_for(name: str) -> KernelRunner:
+    """Module-lifetime runner pool (assembly is per-kernel pure)."""
+    if name not in _RUNNERS:
+        kernels = cached_kernels(csidh_toy().p)
+        _RUNNERS[name] = KernelRunner(kernels[name], engine="jit")
+    return _RUNNERS[name]
+
+
+def assert_three_way_exact(runner: KernelRunner, values) -> None:
+    """One differential observation: interpreter vs replay vs jit."""
+    observed = {}
+    for engine in ("interpreter", "replay", "jit"):
+        run = runner.run(*values, check=False, engine=engine)
+        regs = list(runner.machine.state.regs._regs)
+        observed[engine] = (run.limbs, run.value, run.instructions,
+                            run.cycles, regs)
+
+    name = runner.kernel.name
+    interp = observed["interpreter"]
+    for engine in ("replay", "jit"):
+        got = observed[engine]
+        assert got[0] == interp[0], (
+            f"{name}: {engine} result limbs diverge on {values}")
+        assert got[1] == interp[1], (
+            f"{name}: {engine} value diverges on {values}")
+        assert got[2] == interp[2], (
+            f"{name}: {engine} retired-instruction count diverges "
+            f"({got[2]} vs {interp[2]})")
+        assert got[3] == interp[3], (
+            f"{name}: {engine} cycle count diverges "
+            f"({got[3]} vs {interp[3]})")
+        assert got[4] == interp[4], (
+            f"{name}: {engine} final register state diverges on "
+            f"{values}")
+
+
+@pytest.mark.parametrize("name", FIELD_KERNELS)
+def test_field_kernels_jit_supported(name):
+    """All 16 field-op kernels compile to jit functions."""
+    runner = runner_for(name)
+    assert runner.machine.jit_supported(runner.entry)
+
+
+@pytest.mark.parametrize("name", FIELD_KERNELS)
+def test_field_kernels_boundary_operands(name):
+    """Exhaustive cartesian boundary sweep, three engines per point."""
+    runner = runner_for(name)
+    per_operand = boundary_operand_values(runner.kernel,
+                                          clip_to_domain=False)
+    for values in itertools.product(*per_operand):
+        assert_three_way_exact(runner, values)
+
+
+@pytest.mark.parametrize("name", FIELD_KERNELS)
+def test_field_kernels_random_operands(name):
+    """Seeded random sweep drawn from each kernel's own sampler."""
+    runner = runner_for(name)
+    rng = random.Random(0x717)
+    for _ in range(15):
+        assert_three_way_exact(runner, runner.kernel.sampler(rng))
+
+
+def test_every_generated_kernel_is_jit_exact():
+    """Beyond the field ops: the full kernel matrix (integer multiply,
+    Montgomery reduction, ablation variants) jit-compiles exactly."""
+    rng = random.Random(0x717)
+    for name in cached_kernels(csidh_toy().p):
+        runner = runner_for(name)
+        assert runner.machine.jit_supported(runner.entry), name
+        for _ in range(3):
+            assert_three_way_exact(runner, runner.kernel.sampler(rng))
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+def test_jit_histogram_identical(variant):
+    """Dynamic mnemonic histograms agree across all three engines."""
+    runner = runner_for(f"{OP_FP_MUL}.{variant}")
+    machine = runner.machine
+    machine.collect_histogram = True
+    try:
+        machine.reset()
+        interp = machine.run(runner.entry)
+        machine.reset()
+        jitted = machine.run(runner.entry, engine="jit")
+        assert jitted.engine == "jit"
+        assert sum(jitted.histogram.values()) \
+            == jitted.instructions_retired
+        assert jitted.histogram == interp.histogram
+    finally:
+        machine.collect_histogram = False
+
+
+def test_jit_cycles_match_golden_snapshot():
+    """jit-engine cycle counts equal the pinned golden snapshot —
+    the code generator cannot move the paper's headline numbers."""
+    golden = json.loads(GOLDEN_PATH.read_text())["moduli"]["csidh-toy"]
+    rng = random.Random(0x717)
+    for name, want in golden.items():
+        runner = runner_for(name)
+        run = runner.run(*runner.kernel.sampler(rng), check=False,
+                         engine="jit")
+        assert run.cycles == want, (
+            f"{name}: jit cycles {run.cycles} != golden {want}")
+
+
+def test_jit_function_is_compiled_once_and_reused():
+    runner = runner_for(f"{OP_FP_ADD}.reduced.ise")
+    machine = runner.machine
+    rng = random.Random(2)
+    runner.run(*runner.kernel.sampler(rng), check=False, engine="jit")
+    jitfn_first = machine._jit_cache[runner.entry]
+    runner.run(*runner.kernel.sampler(rng), check=False, engine="jit")
+    assert machine._jit_cache[runner.entry] is jitfn_first
+
+
+def test_batch_matches_looped_singles():
+    """run_batch is semantically the scalar loop, on every engine."""
+    runner = runner_for(f"{OP_FP_MUL}.reduced.ise")
+    rng = random.Random(5)
+    sets = [runner.kernel.sampler(rng) for _ in range(8)]
+    looped = [runner.run(*v, check=False, engine="interpreter")
+              for v in sets]
+    for engine in ("interpreter", "replay", "jit"):
+        batched = runner.run_batch(sets, check=False, engine=engine)
+        assert [r.value for r in batched] == [r.value for r in looped]
+        assert [r.limbs for r in batched] == [r.limbs for r in looped]
+        assert [r.cycles for r in batched] == [r.cycles for r in looped]
+        assert ([r.instructions for r in batched]
+                == [r.instructions for r in looped])

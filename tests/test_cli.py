@@ -110,6 +110,59 @@ class TestFaultsCommand:
         assert "Traceback" not in err
 
 
+class TestBenchCommand:
+    """``repro bench``: the engine-comparison benchmark."""
+
+    def test_bench_all_engines_with_trajectory(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_protocol.json"
+        assert main(["bench", "--params", "toy", "--engine", "all",
+                     "--rounds", "1", "--batch", "8",
+                     "--bench-out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        for engine in ("interpreter", "replay", "jit"):
+            assert engine in out
+        assert "mul_batch" in out
+
+        import json as json_module
+        document = json_module.loads(out_path.read_text())
+        assert document["benchmark"] == "protocol"
+        record = document["runs"][-1]
+        assert record["mode"] == "engine_comparison"
+        assert set(record["engines"]) \
+            == {"interpreter", "replay", "jit"}
+        for row in record["engines"].values():
+            assert row["wall_s"] > 0
+        assert record["batch"]["jit"]["n"] == 8
+
+    def test_bench_single_engine_no_batch(self, capsys):
+        assert main(["bench", "--params", "toy", "--engine", "replay",
+                     "--rounds", "1", "--batch", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "replay" in out
+        assert "mul_batch" not in out
+
+    @pytest.mark.parametrize("argv, needle", [
+        (["bench", "--params", "toy", "--rounds", "0"], "--rounds"),
+        (["bench", "--params", "toy", "--batch", "-1"], "--batch"),
+        (["bench", "--params", "csidh-512"], "--params toy"),
+    ])
+    def test_bench_bad_arguments(self, argv, needle, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert needle in err
+        assert "Traceback" not in err
+
+    def test_faults_engine_flag(self, tmp_path, capsys):
+        report_path = tmp_path / "campaign.json"
+        assert main(["faults", "--params", "toy", "--n", "4",
+                     "--engine", "jit", "--json",
+                     str(report_path)]) == 0
+        import json as json_module
+        document = json_module.loads(report_path.read_text())
+        assert document["engine"] == "jit"
+        assert document["escaped"] == 0
+
+
 class TestTelemetryFlags:
     """The observability surfaces: ``profile`` and ``--telemetry``."""
 

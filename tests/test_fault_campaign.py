@@ -147,3 +147,74 @@ class TestSelfHealingEndToEnd:
         finally:
             armed.disarm()
         assert context.fault_recoveries == context.fault_detections
+
+
+class TestJitFaultSymmetry:
+    """Replay-cache poisoning must reach a live compiled jit function,
+    be detected on the jit tier, and recovery must evict the compiled
+    function — not just the trace."""
+
+    def test_poisoning_swaps_and_disarm_restores_the_jit_function(self):
+        from repro.fault import arm_fault
+        from repro.fault.plan import FaultSite
+        from repro.kernels.registry import cached_kernels
+        from repro.kernels.runner import KernelRunner
+
+        p = csidh_toy().p
+        kernels = cached_kernels(p)
+        runner = KernelRunner(kernels["fp_mul.reduced.ise"],
+                              engine="jit")
+        runner.run(3, 5, check=False)  # compile the jit function
+        machine = runner.machine
+        pristine = machine._jit_cache[runner.entry]
+        pristine_trace = machine._trace_cache[runner.entry]
+
+        site = FaultSite(index=0, site="replay_step_skip",
+                         operation="mul", step=5, bit=0, lane=0,
+                         delta=1)
+        armed = arm_fault(runner, site)
+        try:
+            assert machine._jit_cache[runner.entry] is not pristine
+            assert machine._trace_cache[runner.entry] \
+                is not pristine_trace
+        finally:
+            armed.disarm()
+        assert machine._jit_cache[runner.entry] is pristine
+        assert machine._trace_cache[runner.entry] is pristine_trace
+
+    def test_jit_context_heals_and_evicts_the_compiled_function(self):
+        from repro import telemetry
+        from repro.fault import arm_fault
+        from repro.fault.plan import FaultSite
+
+        p = csidh_toy().p
+        context = SimulatedFieldContext(p, checked=True,
+                                        check_interval=1, engine="jit")
+        reference = FieldContext(p)
+        context.mul(2, 3)  # compile the jit function before arming
+        assert context._mul.entry in context._mul.machine._jit_cache
+
+        site = FaultSite(index=0, site="replay_step_skip",
+                         operation="mul", step=2, bit=13, lane=3,
+                         delta=1)
+        armed = arm_fault(context._mul, site)
+        try:
+            with telemetry.capture(fresh=True) as cap:
+                for a, b in [(3, 5), (7, 11), (p - 1, p - 2), (42, 81)]:
+                    assert context.mul(a, b) == reference.mul(a, b)
+        finally:
+            armed.disarm()
+        assert context.fault_detections >= 1
+        assert context.fault_recoveries == context.fault_detections
+        # recovery dropped the compiled tier, not just the trace
+        evictions = cap.registry.counter("jit_evictions_total")
+        assert evictions.value() >= 1
+        invalidations = cap.registry.counter("trace_invalidations_total")
+        assert invalidations.value() >= 1
+
+    def test_jit_campaign_no_escapes(self):
+        report = run_campaign(csidh_toy().p, seed=1, n=12,
+                              engine="jit")
+        assert report.engine == "jit"
+        assert report.escaped == 0
+        assert report.recovery_rate >= 0.9

@@ -97,3 +97,67 @@ class TestSimulatedProtocol:
                 assert got.is_infinity
             else:
                 assert (got.X * want.Z - want.X * got.Z) % p == 0
+
+
+class TestEngineTiers:
+    """The jit tier and the batched entry points at field level."""
+
+    def test_unknown_engine_rejected(self, toy_params):
+        from repro.errors import KernelError
+
+        with pytest.raises(KernelError, match="unknown engine"):
+            SimulatedFieldContext(toy_params.p, engine="turbo")
+
+    def test_cross_check_conflicts_with_fast_engines(self, toy_params):
+        from repro.errors import KernelError
+
+        with pytest.raises(KernelError, match="cross_check"):
+            SimulatedFieldContext(toy_params.p, cross_check=True,
+                                  engine="jit")
+
+    @pytest.mark.parametrize("engine",
+                             ["interpreter", "replay", "jit"])
+    def test_group_action_identical_across_engines(self, toy_params,
+                                                   reference_action,
+                                                   engine):
+        field = SimulatedFieldContext(toy_params.p, engine=engine)
+        assert group_action(toy_params, field, 0, (1, -1, 1),
+                            random.Random(0)) == reference_action
+
+    @pytest.mark.parametrize("engine",
+                             ["interpreter", "replay", "jit"])
+    def test_batch_entry_points_match_reference(self, toy_params,
+                                                engine):
+        p = toy_params.p
+        context = SimulatedFieldContext(p, engine=engine)
+        reference = FieldContext(p)
+        rng = random.Random(13)
+        pairs = [(rng.randrange(p), rng.randrange(p))
+                 for _ in range(9)]
+        values = [rng.randrange(p) for _ in range(9)]
+        assert context.mul_batch(pairs) \
+            == [reference.mul(a, b) for a, b in pairs]
+        assert context.sqr_batch(values) \
+            == [reference.sqr(a) for a in values]
+        assert context.add_batch(pairs) \
+            == [reference.add(a, b) for a, b in pairs]
+        assert context.sub_batch(pairs) \
+            == [reference.sub(a, b) for a, b in pairs]
+
+    def test_batch_counts_operations_like_the_scalar_api(self,
+                                                         toy_params):
+        p = toy_params.p
+        context = SimulatedFieldContext(p, engine="jit")
+        pairs = [(3, 5), (7, 11), (13, 17)]
+        before = context.counter.mul
+        context.mul_batch(pairs)
+        assert context.counter.mul - before == len(pairs)
+
+    def test_checked_context_batches_stay_verified(self, toy_params):
+        p = toy_params.p
+        context = SimulatedFieldContext(p, checked=True,
+                                        check_interval=1)
+        reference = FieldContext(p)
+        pairs = [(3, 5), (p - 1, p - 2)]
+        assert context.mul_batch(pairs) \
+            == [reference.mul(a, b) for a, b in pairs]

@@ -9,6 +9,9 @@ from repro.kernels.registry import (
     build_all_kernels,
     build_kernel,
     cached_kernels,
+    cached_runner,
+    clear_runner_pool,
+    evict_runner,
     make_contexts,
 )
 from repro.kernels.runner import KernelRunner, run_kernel
@@ -143,3 +146,100 @@ class TestToyModulus:
             a, b = rng.randrange(p), rng.randrange(p)
             assert add.run(a, b).value == (a + b) % p
             assert sub.run(a, b).value == (a - b) % p
+
+
+class TestEngineSelection:
+    """Engine plumbing: runner tiers, pool keys, batch accounting."""
+
+    def test_unknown_engine_rejected(self, toy_params):
+        kernels = build_all_kernels(toy_params.p)
+        with pytest.raises(KernelError, match="unknown engine"):
+            KernelRunner(kernels["fp_add.reduced.ise"],
+                         engine="turbo")
+        runner = KernelRunner(kernels["fp_add.reduced.ise"])
+        with pytest.raises(KernelError, match="unknown engine"):
+            runner.run(1, 2, engine="turbo")
+        with pytest.raises(KernelError, match="unknown engine"):
+            runner.run_batch([(1, 2)], engine="turbo")
+
+    def test_engine_param_overrides_replay_flag(self, toy_params, rng):
+        kernels = build_all_kernels(toy_params.p)
+        runner = KernelRunner(kernels["fp_add.reduced.ise"],
+                              replay=True, engine="jit")
+        assert runner.engine == "jit"
+        p = toy_params.p
+        a, b = rng.randrange(p), rng.randrange(p)
+        assert runner.run(a, b).value == (a + b) % p
+
+    def test_pool_is_keyed_by_engine(self, toy_params):
+        clear_runner_pool()
+        p = toy_params.p
+        replay = cached_runner(p, "fp_add.reduced.ise",
+                               engine="replay")
+        jit = cached_runner(p, "fp_add.reduced.ise", engine="jit")
+        assert replay is not jit
+        assert cached_runner(p, "fp_add.reduced.ise",
+                             engine="jit") is jit
+        assert evict_runner(p, "fp_add.reduced.ise", engine="jit")
+        assert cached_runner(p, "fp_add.reduced.ise",
+                             engine="jit") is not jit
+        clear_runner_pool()
+
+    def test_run_batch_rejects_wrong_arity(self, toy_params):
+        kernels = build_all_kernels(toy_params.p)
+        runner = KernelRunner(kernels["fp_add.reduced.ise"])
+        with pytest.raises(KernelError, match="expects 2 operands"):
+            runner.run_batch([(1, 2), (3,)])
+
+    @pytest.mark.parametrize("engine", ["replay", "jit"])
+    def test_batch_counters_match_looped_singles(self, toy_params,
+                                                 rng, engine):
+        """Identical kernel/machine run accounting, batch vs loop —
+        plus one batch sample recording the batching itself."""
+        from repro import telemetry
+
+        kernels = build_all_kernels(toy_params.p)
+        runner = KernelRunner(kernels["fp_add.reduced.ise"],
+                              engine=engine)
+        p = toy_params.p
+        sets = [(rng.randrange(p), rng.randrange(p))
+                for _ in range(6)]
+        runner.run_batch(sets[:1])  # compile outside the captures
+
+        def shared_counters(registry):
+            return {
+                name: samples
+                for name, samples in registry.to_dict().items()
+                if name in ("kernel_runs_total", "machine_runs_total",
+                            "jit_cache_hits_total")
+            }
+
+        with telemetry.capture(fresh=True) as loop_cap:
+            looped = [runner.run(*values) for values in sets]
+        with telemetry.capture(fresh=True) as batch_cap:
+            batched = runner.run_batch(sets)
+
+        assert [r.value for r in batched] == [r.value for r in looped]
+        assert shared_counters(loop_cap.registry) \
+            == shared_counters(batch_cap.registry)
+        batches = batch_cap.registry.counter("kernel_batches_total")
+        assert batches.value(kernel="fp_add.reduced.ise",
+                             engine=engine) == 1
+        items = batch_cap.registry.counter("kernel_batch_items_total")
+        assert items.value(kernel="fp_add.reduced.ise",
+                           engine=engine) == len(sets)
+
+    def test_checked_batch_takes_the_scalar_path(self, toy_params,
+                                                 rng):
+        """Hardened runners demote batches to per-item scalar runs so
+        every safety check still fires."""
+        clear_runner_pool()
+        p = toy_params.p
+        runner = cached_runner(p, "fp_add.reduced.ise", checked=True,
+                               check_interval=1)
+        sets = [(rng.randrange(p), rng.randrange(p))
+                for _ in range(3)]
+        runs = runner.run_batch(sets)
+        assert [r.value for r in runs] \
+            == [(a + b) % p for a, b in sets]
+        clear_runner_pool()

@@ -13,6 +13,14 @@ identically on both paths.
 
 A final guard asserts this file covers every declared reason, so a new
 rejection reason cannot land without its fallback test.
+
+The second half applies the same discipline one tier up: every
+:class:`~repro.rv64.jit.JitError` reason and every demotion reason on
+the jit → replay → interpreter ladder
+(:data:`repro.rv64.jit.DEMOTION_REASONS`) gets a test asserting the
+refusal counter (``jit_rejects_total{reason=...}``), the demotion
+counter (``jit_demotions_total{reason=...}``), the engine that
+actually ran, and bit-for-bit agreement with the plain interpreter.
 """
 
 from __future__ import annotations
@@ -31,6 +39,9 @@ from repro.rv64.pipeline import (
     ROCKET_CONFIG,
     ROCKET_CONFIG_WITH_CACHES,
 )
+from repro.rv64 import jit as jit_module
+from repro.rv64.jit import DEMOTION_REASONS, JitError, compile_jit
+from repro.rv64.machine import HALT_ADDRESS
 from repro.rv64.replay import ReplayError, compile_trace
 
 #: reason -> the assembly that provokes it (straight-line unless noted)
@@ -181,3 +192,136 @@ def test_every_declared_reason_is_covered():
     tested = set(re.findall(r'"(control_flow|ra_write|cache_timing|'
                             r'unmapped|step_limit)"', source))
     assert tested == set(ReplayError.REASONS)
+
+
+# ---------------------------------------------------------------------------
+# jit demotion ladder: jit → replay → interpreter
+# ---------------------------------------------------------------------------
+
+
+class TestJitNotReplayable:
+    """Unreplayable programs refuse jit for the same root cause, and a
+    jit request demotes all the way to the interpreter."""
+
+    SOURCE = TestControlFlow.SOURCE
+
+    def test_rejected(self):
+        machine, entry = _machine(self.SOURCE)
+        with pytest.raises(JitError) as excinfo:
+            compile_jit(machine, entry)
+        assert excinfo.value.reason == "not_replayable"
+        assert excinfo.value.code == "jit"
+
+    def test_demotes_to_interpreter_bit_for_bit(self):
+        with telemetry.capture(fresh=True) as cap:
+            machine, entry = _machine(self.SOURCE)
+            result = machine.run(entry, engine="jit")
+        plain, entry2 = _machine(self.SOURCE)
+        expected = plain.run(entry2)
+
+        assert result.engine == "interpreter"
+        assert result.instructions_retired \
+            == expected.instructions_retired
+        assert result.cycles == expected.cycles
+        assert machine.regs.snapshot() == plain.regs.snapshot()
+
+        rejects = cap.registry.counter("jit_rejects_total")
+        assert rejects.value(reason="not_replayable") == 1
+        demotions = cap.registry.counter("jit_demotions_total")
+        assert demotions.value(reason="not_compilable") == 1
+        # ...and the replay rung below then falls back too
+        fallbacks = cap.registry.counter("replay_fallback_total")
+        assert fallbacks.value(reason="not_replayable") == 1
+
+
+class TestJitCodegenError:
+    """A broken emitter makes the generated source fail to compile:
+    jit refuses with ``codegen_error`` and demotes ONE rung — the
+    trace itself is healthy, so the replay engine serves the run."""
+
+    def test_rejected_and_replay_serves(self):
+        original = jit_module._TEMPLATES.get("addi")
+        jit_module._TEMPLATES["addi"] = (
+            lambda ins, pc: "r1 = = broken(")
+        try:
+            machine, entry = _machine(_STRAIGHT)
+            with pytest.raises(JitError) as excinfo:
+                compile_jit(machine, entry)
+            assert excinfo.value.reason == "codegen_error"
+
+            with telemetry.capture(fresh=True) as cap:
+                machine2, entry2 = _machine(_STRAIGHT)
+                result = machine2.run(entry2, engine="jit")
+            assert result.engine == "replay"
+            assert machine2.regs["a0"] == 42
+            rejects = cap.registry.counter("jit_rejects_total")
+            assert rejects.value(reason="codegen_error") == 1
+            demotions = cap.registry.counter("jit_demotions_total")
+            assert demotions.value(reason="not_compilable") == 1
+        finally:
+            if original is None:
+                jit_module._TEMPLATES.pop("addi", None)
+            else:
+                jit_module._TEMPLATES["addi"] = original
+
+
+class TestJitTraceHooks:
+    """An attached trace hook demotes jit (and replay) so the hook
+    observes every retired instruction."""
+
+    def test_demotes_and_hook_fires(self):
+        machine, entry = _machine(_STRAIGHT)
+        seen = []
+        machine.add_trace_hook(lambda state, ins: seen.append(
+            ins.mnemonic))
+        with telemetry.capture(fresh=True) as cap:
+            result = machine.run(entry, engine="jit")
+        assert result.engine == "interpreter"
+        assert len(seen) == result.instructions_retired
+        demotions = cap.registry.counter("jit_demotions_total")
+        assert demotions.value(reason="trace_hooks") == 1
+        assert machine.regs["a0"] == 42
+
+
+class TestJitNoSetupReturn:
+    """``setup_return=False`` means the caller owns ra/sp; jit cannot
+    reproduce that from-reset contract and demotes."""
+
+    def test_demotes_and_matches_interpreter(self):
+        machine, entry = _machine(_STRAIGHT)
+        machine.state.regs.write("ra", HALT_ADDRESS)
+        with telemetry.capture(fresh=True) as cap:
+            result = machine.run(entry, setup_return=False,
+                                 engine="jit")
+        plain, entry2 = _machine(_STRAIGHT)
+        plain.state.regs.write("ra", HALT_ADDRESS)
+        expected = plain.run(entry2, setup_return=False)
+
+        assert result.engine == "interpreter"
+        assert result.cycles == expected.cycles
+        assert machine.regs.snapshot() == plain.regs.snapshot()
+        demotions = cap.registry.counter("jit_demotions_total")
+        assert demotions.value(reason="no_setup_return") == 1
+
+
+def test_jit_rejection_is_cached_not_retried():
+    """A refused entry is remembered; later jit requests demote
+    without re-running the code generator."""
+    with telemetry.capture(fresh=True) as cap:
+        machine, entry = _machine(TestControlFlow.SOURCE)
+        machine.run(entry, engine="jit")
+        machine.run(entry, engine="jit")
+        rejects = cap.registry.counter("jit_rejects_total")
+        assert rejects.value(reason="not_replayable") == 1
+        demotions = cap.registry.counter("jit_demotions_total")
+        assert demotions.value(reason="not_compilable") == 2
+
+
+def test_every_declared_jit_reason_is_covered():
+    """A new JitError.reason or demotion reason cannot land without
+    its ladder test in this file."""
+    source = open(__file__, encoding="utf-8").read()
+    tested = set(re.findall(r'"(not_replayable|codegen_error|'
+                            r'not_compilable|trace_hooks|'
+                            r'no_setup_return)"', source))
+    assert tested == set(JitError.REASONS) | set(DEMOTION_REASONS)
