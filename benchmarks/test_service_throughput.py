@@ -1,0 +1,113 @@
+"""Throughput guard: concurrency must actually buy something.
+
+The service's concurrency story rests on request coalescing — many
+sessions' field ops folded into one ``run_batch`` call — because the
+simulated kernels are pure-Python work serialised by the GIL (thread
+fan-out alone cannot win).  This guard pins the coalescing dividend:
+submitting a burst of field ops concurrently (so they coalesce) must
+beat awaiting the same ops one at a time through the same service by
+at least ``CONCURRENT_SPEEDUP_FLOOR``.
+
+Measured on the development container: ~3x with the batching window
+forced to zero wait (the honest configuration — the default 2 ms
+window would pad the sequential side with pure timer sleep).  The
+floor is set at half the measured margin, same policy as the jit
+overhead guards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+
+from repro.csidh.parameters import csidh_toy
+from repro.service import KeyExchangeService, TenantConfig
+
+#: Concurrent+coalesced must beat sequential by at least this factor.
+CONCURRENT_SPEEDUP_FLOOR = 1.5
+
+OPS = 192
+TRIALS = 3
+
+
+def _operands(p: int) -> list[tuple[int, int]]:
+    rng = random.Random(0x5EC)
+    return [(rng.randrange(p), rng.randrange(p)) for _ in range(OPS)]
+
+
+def test_concurrent_coalesced_beats_sequential_by_floor():
+    params = csidh_toy()
+    pairs = _operands(params.p)
+
+    async def measure() -> float:
+        config = TenantConfig("t", engine="replay", lanes=2,
+                              max_queue=OPS + 8)
+        service = KeyExchangeService(
+            params, [config],
+            coalesce_batch=64,
+            # no artificial batching window: the sequential side must
+            # not lose to a timer, only to real per-call overhead
+            coalesce_wait_s=0.0,
+        )
+        async with service:
+            await service.field_op("t", "mul", [3, 5])  # warm caches
+            best = 0.0
+            for _ in range(TRIALS):
+                # interleave both sides so a host load spike hits each
+                start = time.perf_counter()
+                for a, b in pairs:
+                    await service.field_op("t", "mul", [a, b])
+                sequential = time.perf_counter() - start
+
+                start = time.perf_counter()
+                results = await asyncio.gather(*(
+                    service.field_op("t", "mul", [a, b])
+                    for a, b in pairs))
+                concurrent = time.perf_counter() - start
+
+                assert results == [(a * b) % params.p
+                                   for a, b in pairs]
+                best = max(best, sequential / concurrent)
+            stats = service.stats()
+            # the speedup must come from coalescing, not luck: the
+            # concurrent bursts really did fold into shared batches
+            coalesced = stats["coalesced"]["t"]
+            assert coalesced["batches"] < coalesced["items"]
+            return best
+
+    speedup = asyncio.run(measure())
+    assert speedup >= CONCURRENT_SPEEDUP_FLOOR, (
+        f"concurrent+coalesced field ops only {speedup:.2f}x faster "
+        f"than sequential through the service (floor "
+        f"{CONCURRENT_SPEEDUP_FLOOR}x) — the coalescing path has "
+        f"regressed")
+
+
+def test_concurrent_handshakes_no_slower_than_sequential():
+    """Full handshakes are single group actions (no cross-session
+    batching), so concurrency can't multiply throughput under the GIL
+    — but it must not *cost* anything either: the scheduler, lanes and
+    admission layer overhead stays in the noise (<25%)."""
+    from repro.service import expected_handshakes, run_load
+
+    params = csidh_toy()
+    exchanges = 6
+    oracle = expected_handshakes(params, exchanges, seed=0)
+
+    async def measure(concurrency: int) -> float:
+        report = await run_load(
+            params, exchanges=exchanges, concurrency=concurrency,
+            tenants=2, lanes=2, engine="replay", seed=0,
+            oracle=oracle)
+        assert report.divergences == 0
+        return report.duration_s
+
+    best_ratio = 0.0
+    for _ in range(2):
+        sequential = asyncio.run(measure(1))
+        concurrent = asyncio.run(measure(exchanges))
+        best_ratio = max(best_ratio, sequential / concurrent)
+    assert best_ratio >= 0.75, (
+        f"concurrent handshakes ran {1 / best_ratio:.2f}x slower than "
+        f"sequential — the service layer is adding real overhead")

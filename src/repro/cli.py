@@ -370,6 +370,86 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_configs(args: argparse.Namespace):
+    from repro.service import default_tenant_configs
+    from repro.telemetry.profile import MAX_SIMULATED_BITS
+
+    params = _PARAM_SETS[args.params]()
+    if params.p.bit_length() > MAX_SIMULATED_BITS:
+        raise ParameterError(
+            f"a {params.p.bit_length()}-bit service on the functional "
+            f"simulator is infeasible; use --params toy or mini")
+    configs = default_tenant_configs(
+        args.tenants, engine=args.engine, hardened=args.hardened,
+        lanes=args.lanes, max_queue=args.max_queue,
+        variant=args.variant)
+    return params, configs
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import KeyExchangeService, start_server
+
+    params, configs = _service_configs(args)
+
+    async def serve() -> None:
+        service = KeyExchangeService(params, configs)
+        server = await start_server(service, args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(f"serving {params.name} key exchange on {host}:{port} "
+              f"({args.tenants} tenant(s) x {args.lanes} lane(s), "
+              f"engine {args.engine}"
+              f"{', hardened' if args.hardened else ''})")
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await service.aclose()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import run_load
+    from repro.telemetry.export import write_bench
+
+    if args.exchanges < 1:
+        raise ParameterError(
+            f"--exchanges must be at least 1 (got {args.exchanges})")
+    if args.concurrency < 1:
+        raise ParameterError(
+            f"--concurrency must be at least 1 (got "
+            f"{args.concurrency})")
+    params, configs = _service_configs(args)
+
+    report = asyncio.run(run_load(
+        params,
+        exchanges=args.exchanges,
+        concurrency=args.concurrency,
+        tenant_configs=configs,
+        engine=args.engine,
+        hardened=args.hardened,
+        seed=args.seed,
+    ))
+    print(report.summary())
+    if args.bench_out:
+        write_bench(args.bench_out, "protocol", report.to_record())
+        print(f"benchmark trajectory appended to {args.bench_out}")
+    if report.divergences:
+        # A divergence is an escape: a wrong result left the service.
+        print(f"FAIL: {report.divergences} result(s) diverged from "
+              f"the sequential pure-Python reference")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -478,6 +558,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="append the engine comparison to the "
                         "BENCH_*.json perf trajectory")
     p.set_defaults(func=_cmd_bench)
+
+    def service_knobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--params", choices=sorted(_PARAM_SETS),
+                       default="toy")
+        p.add_argument("--tenants", type=int, default=4,
+                       help="number of isolated tenants")
+        p.add_argument("--engine",
+                       choices=("interpreter", "replay", "jit"),
+                       default="jit",
+                       help="preferred (fastest) execution tier")
+        p.add_argument("--hardened", action="store_true",
+                       help="checked contexts + output validation on "
+                            "every tenant")
+        p.add_argument("--lanes", type=int, default=2,
+                       help="concurrent sessions per tenant")
+        p.add_argument("--max-queue", type=int, default=16,
+                       help="queued requests per tenant beyond its "
+                            "lanes")
+        p.add_argument("--variant", default="reduced.ise")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant key-exchange service over TCP")
+    service_knobs(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="0 picks a free port (printed at startup)")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "load",
+        help="drive concurrent exchanges through the service and "
+             "check every result against the sequential reference")
+    service_knobs(p)
+    p.add_argument("--exchanges", type=int, default=100,
+                   help="full handshakes to run")
+    p.add_argument("--concurrency", type=int, default=16,
+                   help="handshakes in flight at once")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--bench-out", default=None, metavar="PATH",
+                   help="append a service_load record to the "
+                        "BENCH_*.json perf trajectory")
+    p.set_defaults(func=_cmd_load)
 
     p = sub.add_parser("kernel", help="dump a generated kernel")
     p.add_argument("name", help="e.g. fp_mul.reduced.ise")

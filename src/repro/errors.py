@@ -83,6 +83,25 @@ class FaultDetectedError(FaultError):
     code = "fault_detected"
 
 
+class ServiceError(ReproError):
+    """A key-exchange service failure (unknown tenant, bad request,
+    malformed wire message; see ``docs/SERVICE.md``)."""
+
+    code = "service"
+
+
+class AdmissionError(ServiceError):
+    """A request was rejected by admission control.
+
+    Raised (and reported over the wire with this stable ``code``) when
+    a tenant's bounded queue — or the service-wide in-flight bound —
+    is full.  Rejection is immediate and stateless: the request was
+    never enqueued, so the client may safely retry after backoff.
+    """
+
+    code = "admission"
+
+
 class RecoveryExhaustedError(FaultError):
     """Bounded retry-with-fallback failed to restore a correct result.
 

@@ -101,10 +101,16 @@ class SimulatedFieldContext(FieldContext):
         checked: bool = False,
         check_interval: int = DEFAULT_CHECK_INTERVAL,
         max_recovery_attempts: int = DEFAULT_RECOVERY_ATTEMPTS,
+        scope: str = "",
     ) -> None:
         super().__init__(p, counter)
         self.variant = variant
         self.cross_check = cross_check
+        #: Runner-pool confinement tag (see
+        #: :func:`repro.kernels.registry.cached_runner`): contexts with
+        #: different scopes never share simulator machines, which is
+        #: what makes concurrent sessions on worker threads safe.
+        self.scope = scope
         self._pipeline_config = pipeline_config
         # cross_check escapes to the interpreter and verifies every run
         # against the kernel's golden reference; the default replays
@@ -156,6 +162,7 @@ class SimulatedFieldContext(FieldContext):
             checked=cfg is not None,
             check_interval=cfg.interval if cfg is not None else None,
             engine=self.engine,
+            scope=self.scope,
         )
 
     # -- kernel dispatch -----------------------------------------------------
@@ -218,11 +225,12 @@ class SimulatedFieldContext(FieldContext):
             # drops the cached trace AND any compiled jit function
             runner.machine.invalidate_trace(runner.entry)
             registry.evict_runner(self.p, name, self._pipeline_config,
-                                  checked=True, engine=self.engine)
+                                  checked=True, engine=self.engine,
+                                  scope=self.scope)
             fresh = registry.cached_runner(
                 self.p, name, self._pipeline_config,
                 checked=True, check_interval=cfg.interval,
-                engine=self.engine,
+                engine=self.engine, scope=self.scope,
             )
             setattr(self, slot, fresh)
 

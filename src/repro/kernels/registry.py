@@ -21,6 +21,7 @@ operand-streaming code depending on the operand width (DESIGN.md E9).
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 
 from repro import telemetry
@@ -291,8 +292,14 @@ def cached_kernels(modulus: int) -> dict[str, Kernel]:
 
 
 _RUNNER_POOL: dict[
-    tuple[int, str, PipelineConfig, bool, str], KernelRunner
+    tuple[int, str, PipelineConfig, bool, str, str], KernelRunner
 ] = {}
+
+#: Serialises pool bookkeeping (lookup, insert, evict, clear) so the
+#: service layer's concurrent sessions cannot corrupt the dict or
+#: double-count pool telemetry.  Builds happen *outside* the lock (a
+#: lost build race is resolved by keeping the first-inserted runner).
+_POOL_LOCK = threading.RLock()
 
 
 def cached_runner(
@@ -303,6 +310,7 @@ def cached_runner(
     checked: bool = False,
     check_interval: int | None = None,
     engine: str = "interpreter",
+    scope: str = "",
 ) -> KernelRunner:
     """Pooled :class:`KernelRunner` for one kernel of *modulus*.
 
@@ -312,7 +320,20 @@ def cached_runner(
     repeat executor) share one machine per kernel instead of paying
     assembly again.  Runs are self-contained (reset, plant operands,
     execute, read result), so interleaved use at run granularity is safe
-    in a single-threaded process.
+    within one thread.
+
+    **Concurrency.**  Pool bookkeeping is thread-safe: lookups, inserts
+    and evictions are serialised on a module lock, and a racing double
+    build of the same key resolves to the first runner inserted (the
+    loser is discarded, both callers observe the same object).  The
+    *runner itself* is not: a :class:`KernelRunner` owns one simulator
+    machine whose memory image every run rewrites, so two threads must
+    never share a live runner.  Concurrent executors partition the pool
+    with ``scope`` — a free-form confinement tag (the service layer
+    uses ``"<tenant>/<lane>"`` per session lane, see
+    ``docs/SERVICE.md``) that is part of the pool key, giving each
+    tenant lane its own machines while still amortising assembly
+    *within* the lane.
 
     ``checked`` runners (sampled reference cross-validation, see
     ``docs/ROBUSTNESS.md``) are pooled separately from plain ones, so a
@@ -331,13 +352,14 @@ def cached_runner(
     tracks the pool size, so a workload that keeps re-assembling
     kernels shows up immediately in ``repro profile`` output.
     """
-    key = (modulus, name, pipeline_config, checked, engine)
-    runner = _RUNNER_POOL.get(key)
-    if runner is not None:
-        if checked and check_interval is not None:
-            runner.enable_checked(check_interval)
-        telemetry.record_pool_access(True, len(_RUNNER_POOL))
-        return runner
+    key = (modulus, name, pipeline_config, checked, engine, scope)
+    with _POOL_LOCK:
+        runner = _RUNNER_POOL.get(key)
+        if runner is not None:
+            if checked and check_interval is not None:
+                runner.enable_checked(check_interval)
+            telemetry.record_pool_access(True, len(_RUNNER_POOL))
+            return runner
     kernel = cached_kernels(modulus).get(name)
     if kernel is None:
         raise KernelError(
@@ -350,8 +372,17 @@ def cached_runner(
             check_interval if check_interval is not None
             else DEFAULT_CHECK_INTERVAL
         )
-    _RUNNER_POOL[key] = runner
-    telemetry.record_pool_access(False, len(_RUNNER_POOL))
+    with _POOL_LOCK:
+        winner = _RUNNER_POOL.get(key)
+        if winner is not None:
+            # lost a build race: adopt the pooled runner so every
+            # caller for this key observes the same object
+            if checked and check_interval is not None:
+                winner.enable_checked(check_interval)
+            telemetry.record_pool_access(True, len(_RUNNER_POOL))
+            return winner
+        _RUNNER_POOL[key] = runner
+        telemetry.record_pool_access(False, len(_RUNNER_POOL))
     return runner
 
 
@@ -362,6 +393,7 @@ def evict_runner(
     *,
     checked: bool = False,
     engine: str = "interpreter",
+    scope: str = "",
 ) -> bool:
     """Drop one pooled runner; returns whether it was pooled.
 
@@ -371,14 +403,26 @@ def evict_runner(
     the next :func:`cached_runner` call rebuilds it from scratch —
     re-assembly from the pristine kernel source is the trust anchor.
     """
-    runner = _RUNNER_POOL.pop(
-        (modulus, name, pipeline_config, checked, engine), None)
+    with _POOL_LOCK:
+        runner = _RUNNER_POOL.pop(
+            (modulus, name, pipeline_config, checked, engine, scope),
+            None)
     if runner is None:
         return False
     telemetry.record_runner_evicted(name)
     return True
 
 
-def clear_runner_pool() -> None:
-    """Drop every pooled runner (tests and memory-pressure hook)."""
-    _RUNNER_POOL.clear()
+def clear_runner_pool(scope: str | None = None) -> None:
+    """Drop pooled runners (tests and memory-pressure hook).
+
+    With *scope* only that confinement tag's runners are dropped —
+    the service layer's per-tenant-lane teardown; ``None`` clears
+    everything.
+    """
+    with _POOL_LOCK:
+        if scope is None:
+            _RUNNER_POOL.clear()
+            return
+        for key in [k for k in _RUNNER_POOL if k[5] == scope]:
+            del _RUNNER_POOL[key]

@@ -1,0 +1,359 @@
+"""The asyncio key-exchange service: concurrent multi-tenant sessions.
+
+:class:`KeyExchangeService` exposes the CSIDH operations — ``keygen``,
+``exchange``, ``verify`` — plus coalesced raw field ops as awaitable
+methods over the existing :class:`~repro.csidh.protocol.Csidh` /
+:class:`~repro.kernels.runner.KernelRunner` stack.  The concurrency
+model:
+
+* the **event loop** owns scheduling: admission control, lane
+  checkout, request coalescing;
+* a **thread pool** owns execution: simulated group actions are
+  blocking pure-Python work, hopped off the loop with
+  ``run_in_executor`` (per-thread telemetry span stacks keep the
+  cycle-attribution tree coherent);
+* **lanes** own machines: every blocking call runs on a lane checked
+  out of its tenant's queue, and a lane's simulator machines are
+  confined to its pool scope — two concurrent sessions can never
+  share mutable simulator state (``tests/service/``).
+
+Faults and overload walk tenants down the ``jit -> replay ->
+interpreter`` ladder (:mod:`repro.service.tenancy`); a faulting
+operation is retried on the next rung down, so a poisoned compiled
+artifact degrades the one tenant's latency instead of failing its
+requests.  Field ops from many sessions are coalesced into
+``run_batch`` windows (:mod:`repro.service.coalesce`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from repro import telemetry
+from repro.csidh.parameters import CsidhParameters
+from repro.csidh.protocol import PrivateKey, PublicKey
+from repro.csidh.validate import is_supersingular
+from repro.errors import FaultError, ServiceError, SimulationError
+from repro.service.admission import AdmissionController
+from repro.service.coalesce import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_WAIT_S,
+    RequestCoalescer,
+)
+from repro.service.tenancy import (
+    Lane,
+    Tenant,
+    TenantConfig,
+    default_tenant_configs,
+    next_service_id,
+)
+
+#: Field operations servable through the coalescer, with their arity.
+FIELD_OPS = {"mul": 2, "sqr": 1, "add": 2, "sub": 2}
+
+#: Tenant saturation (inflight / capacity) at which an admitted
+#: request triggers an overload demotion (jit -> replay only).
+DEFAULT_OVERLOAD_THRESHOLD = 0.9
+
+
+def _seed_bytes(seed) -> bytes:
+    """Normalise a request seed (bytes | int | str) for key derivation."""
+    if isinstance(seed, bytes):
+        return seed
+    if isinstance(seed, int):
+        return seed.to_bytes(32, "little", signed=True)
+    if isinstance(seed, str):
+        return seed.encode("utf-8")
+    raise ServiceError(
+        f"seed must be bytes, int, or str (got {type(seed).__name__})")
+
+
+class KeyExchangeService:
+    """Concurrent multi-tenant CSIDH sessions over one parameter set.
+
+    The service is **stateless** with respect to key material: private
+    keys are re-derived from the request's seed via
+    :meth:`PrivateKey.derive` on every call, so no secret outlives a
+    request and a restarted server is immediately equivalent.
+    """
+
+    def __init__(
+        self,
+        params: CsidhParameters,
+        tenants: Sequence[TenantConfig] | None = None,
+        *,
+        max_inflight: int | None = None,
+        max_workers: int | None = None,
+        coalesce_batch: int = DEFAULT_MAX_BATCH,
+        coalesce_wait_s: float = DEFAULT_MAX_WAIT_S,
+        overload_threshold: float = DEFAULT_OVERLOAD_THRESHOLD,
+    ) -> None:
+        self.params = params
+        configs = list(tenants) if tenants is not None \
+            else default_tenant_configs(1)
+        if not configs:
+            raise ServiceError("service needs at least one tenant")
+        names = [cfg.name for cfg in configs]
+        if len(set(names)) != len(names):
+            raise ServiceError(f"duplicate tenant names in {names}")
+        scope_prefix = f"svc{next_service_id()}/"
+        self.tenants: dict[str, Tenant] = {
+            cfg.name: Tenant(cfg, params, scope_prefix=scope_prefix)
+            for cfg in configs
+        }
+        self.admission = AdmissionController(max_inflight=max_inflight)
+        self.overload_threshold = overload_threshold
+        self._lanes: dict[str, asyncio.Queue] = {}
+        for tenant in self.tenants.values():
+            self.admission.configure(
+                tenant.config.name, tenant.config.capacity)
+            queue: asyncio.Queue = asyncio.Queue()
+            for lane in tenant.lanes:
+                queue.put_nowait(lane)
+            self._lanes[tenant.config.name] = queue
+        total_lanes = sum(t.config.lanes for t in self.tenants.values())
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers or max(total_lanes, 2),
+            thread_name_prefix="repro-service",
+        )
+        self._coalescers: dict[str, RequestCoalescer] = {
+            name: RequestCoalescer(
+                self._batch_executor(tenant),
+                max_batch=coalesce_batch,
+                max_wait_s=coalesce_wait_s,
+            )
+            for name, tenant in self.tenants.items()
+        }
+        self._closed = False
+
+    # -- tenant / lane plumbing ----------------------------------------------
+
+    def _tenant(self, name: str) -> Tenant:
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            raise ServiceError(f"unknown tenant {name!r}")
+        return tenant
+
+    async def _checkout(self, tenant: Tenant) -> Lane:
+        return await self._lanes[tenant.config.name].get()
+
+    def _checkin(self, tenant: Tenant, lane: Lane) -> None:
+        self._lanes[tenant.config.name].put_nowait(lane)
+
+    # -- the degradation ladder in action ------------------------------------
+
+    async def _run_on_ladder(self, tenant: Tenant, lane: Lane,
+                             op: str, call):
+        """Run blocking *call(engine, lane)* on the executor, demoting
+        and retrying one rung down when the tenant's own execution
+        faults.  Protocol-level errors (invalid peer key, bad request)
+        propagate immediately — they are the caller's fault, not the
+        engine's.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            engine = tenant.engine
+            detections_before, _ = lane.fault_counts()
+            try:
+                result = await loop.run_in_executor(
+                    self._executor, call, engine, lane)
+            except (FaultError, SimulationError):
+                # Detected divergence, exhausted recovery, or a
+                # simulator crash: suspect the current tier's compiled
+                # artifacts and retry one rung down on pristine state.
+                tenant.note_result(False)
+                if tenant.demote("fault"):
+                    continue
+                raise
+            detections_after, _ = lane.fault_counts()
+            clean = detections_after == detections_before
+            if not clean:
+                # Checked context caught and recovered a divergence:
+                # the result is good, but the tier is suspect.
+                tenant.demote("fault")
+            tenant.note_result(clean)
+            return result
+
+    async def _run_op(self, tenant_name: str, op: str, call):
+        """Admission -> lane -> ladder -> telemetry, for one request."""
+        if self._closed:
+            raise ServiceError("service is closed")
+        tenant = self._tenant(tenant_name)
+        started = time.perf_counter()
+        try:
+            with self.admission.admit(tenant_name):
+                if (self.admission.saturation(tenant_name)
+                        >= self.overload_threshold):
+                    tenant.demote("overload")
+                lane = await self._checkout(tenant)
+                try:
+                    with telemetry.span(f"service.{op}"):
+                        result = await self._run_on_ladder(
+                            tenant, lane, op, call)
+                finally:
+                    self._checkin(tenant, lane)
+        except Exception:
+            telemetry.record_service_request(tenant_name, op, "error")
+            raise
+        telemetry.record_service_request(tenant_name, op, "ok")
+        telemetry.record_service_latency(
+            op, time.perf_counter() - started)
+        return result
+
+    # -- protocol operations -------------------------------------------------
+
+    async def keygen(self, tenant: str, seed) -> int:
+        """Derive the keypair for *seed*; return the public coefficient."""
+        seed_data = _seed_bytes(seed)
+
+        def call(engine: str, lane: Lane) -> int:
+            private = PrivateKey.derive(seed_data, self.params)
+            public = lane.endpoint(engine).public_key(private)
+            return public.coefficient
+
+        return await self._run_op(tenant, "keygen", call)
+
+    async def exchange(self, tenant: str, seed, peer_public: int,
+                       *, validate: bool = True) -> int:
+        """Shared secret between *seed*'s key and *peer_public*."""
+        seed_data = _seed_bytes(seed)
+        if not isinstance(peer_public, int):
+            raise ServiceError("peer public key must be an integer "
+                               "curve coefficient")
+
+        def call(engine: str, lane: Lane) -> int:
+            private = PrivateKey.derive(seed_data, self.params)
+            return lane.endpoint(engine).shared_secret(
+                private, PublicKey(peer_public), validate=validate)
+
+        return await self._run_op(tenant, "exchange", call)
+
+    async def verify(self, tenant: str, public: int) -> bool:
+        """Is *public* a valid (supersingular) public key?"""
+        if not isinstance(public, int):
+            raise ServiceError("public key must be an integer "
+                               "curve coefficient")
+
+        def call(engine: str, lane: Lane) -> bool:
+            # Deterministic rng: the check is probabilistic per draw,
+            # seeding by the key keeps verdicts reproducible.
+            rng = random.Random(public)
+            return is_supersingular(
+                self.params, lane.context(engine),
+                public % self.params.p, rng)
+
+        return await self._run_op(tenant, "verify", call)
+
+    # -- coalesced field operations ------------------------------------------
+
+    def _batch_executor(self, tenant: Tenant):
+        """Build the coalescer backend: one lane, one ``<op>_batch``."""
+
+        async def execute(op: str, operand_sets: list[tuple]):
+            lane = await self._checkout(tenant)
+            try:
+                def call(engine: str, lane: Lane):
+                    context = lane.context(engine)
+                    method = getattr(context, f"{op}_batch")
+                    if FIELD_OPS[op] == 1:
+                        return method([ops[0] for ops in operand_sets])
+                    return method(list(operand_sets))
+
+                return await self._run_on_ladder(
+                    tenant, lane, f"field.{op}", call)
+            finally:
+                self._checkin(tenant, lane)
+
+        return execute
+
+    async def field_op(self, tenant: str, op: str,
+                       operands: Sequence[int]) -> int:
+        """One modular field operation, batched across sessions."""
+        if self._closed:
+            raise ServiceError("service is closed")
+        arity = FIELD_OPS.get(op)
+        if arity is None:
+            raise ServiceError(
+                f"unknown field op {op!r}; expected one of "
+                f"{sorted(FIELD_OPS)}")
+        operands = [int(v) for v in operands]
+        if len(operands) != arity:
+            raise ServiceError(
+                f"field op {op!r} takes {arity} operand(s), "
+                f"got {len(operands)}")
+        tenant_obj = self._tenant(tenant)
+        started = time.perf_counter()
+        try:
+            with self.admission.admit(tenant):
+                if (self.admission.saturation(tenant)
+                        >= self.overload_threshold):
+                    tenant_obj.demote("overload")
+                result = await self._coalescers[
+                    tenant_obj.config.name].submit(op, operands)
+        except Exception:
+            telemetry.record_service_request(tenant, "field_op", "error")
+            raise
+        telemetry.record_service_request(tenant, "field_op", "ok")
+        telemetry.record_service_latency(
+            "field_op", time.perf_counter() - started)
+        return result
+
+    # -- introspection / lifecycle -------------------------------------------
+
+    def stats(self) -> dict:
+        """Point-in-time service snapshot (also served as op ``stats``)."""
+        tenants = {}
+        for name, tenant in self.tenants.items():
+            detections = recoveries = 0
+            for lane in tenant.lanes:
+                lane_det, lane_rec = lane.fault_counts()
+                detections += lane_det
+                recoveries += lane_rec
+            tenants[name] = {
+                "engine": tenant.engine,
+                "preferred_engine": tenant.config.engine,
+                "hardened": tenant.config.hardened,
+                "lanes": tenant.config.lanes,
+                "capacity": tenant.config.capacity,
+                "inflight": self.admission.inflight(name),
+                "demotions": tenant.demotions,
+                "promotions": tenant.promotions,
+                "fault_detections": detections,
+                "fault_recoveries": recoveries,
+            }
+        coalesced = {
+            name: {"batches": c.batches_flushed,
+                   "items": c.items_flushed}
+            for name, c in self._coalescers.items()
+        }
+        return {
+            "modulus_bits": self.params.p.bit_length(),
+            "tenants": tenants,
+            "total_inflight": self.admission.total_inflight(),
+            "coalesced": coalesced,
+        }
+
+    async def drain(self) -> None:
+        """Flush coalescers and wait for their batches to finish."""
+        for coalescer in self._coalescers.values():
+            await coalescer.drain()
+
+    async def aclose(self) -> None:
+        """Drain, release every tenant's scoped runners, stop workers."""
+        if self._closed:
+            return
+        self._closed = True
+        await self.drain()
+        for tenant in self.tenants.values():
+            tenant.close()
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "KeyExchangeService":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()

@@ -1,0 +1,241 @@
+"""JSON-lines wire protocol: TCP server glue and the async client.
+
+One request per line, one response per line, UTF-8 JSON:
+
+.. code-block:: json
+
+    {"id": 7, "op": "exchange", "tenant": "tenant-0",
+     "seed": 123, "peer": 218}
+    {"id": 7, "ok": true, "result": 140}
+
+Errors come back in-band with the package's **stable error codes**
+(``tests/test_errors.py``): an admission rejection is
+``{"id": 7, "ok": false, "code": "admission", "error": "..."}`` — the
+client re-raises it as the matching
+:class:`~repro.errors.ReproError` subclass, so a caller's
+``except AdmissionError`` works identically in-process and over TCP.
+Responses may arrive out of order (requests run concurrently); the
+``id`` is the correlator.
+
+Ops: ``keygen`` (seed), ``exchange`` (seed, peer, validate?),
+``verify`` (public), ``field_op`` (field_op, operands), ``stats``,
+``ping``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+
+from repro.errors import ReproError, ServiceError
+from repro.service.server import KeyExchangeService
+
+#: Line length guard: a request is a few integers, never megabytes.
+MAX_LINE_BYTES = 1 << 16
+
+
+def _error_class(code: str) -> type[ReproError]:
+    """The :class:`ReproError` subclass registered for *code* (depth-
+    first over the hierarchy), so wire errors re-raise natively."""
+    stack: list[type[ReproError]] = [ReproError]
+    while stack:
+        cls = stack.pop()
+        if cls.code == code:
+            return cls
+        stack.extend(cls.__subclasses__())
+    return ServiceError
+
+
+async def _dispatch(service: KeyExchangeService, request: dict):
+    op = request.get("op")
+    tenant = request.get("tenant", "")
+    if op == "ping":
+        return "pong"
+    if op == "stats":
+        return service.stats()
+    if op == "keygen":
+        return await service.keygen(tenant, request.get("seed", 0))
+    if op == "exchange":
+        return await service.exchange(
+            tenant, request.get("seed", 0),
+            request.get("peer"),
+            validate=bool(request.get("validate", True)))
+    if op == "verify":
+        return await service.verify(tenant, request.get("public"))
+    if op == "field_op":
+        return await service.field_op(
+            tenant, request.get("field_op", ""),
+            request.get("operands", ()))
+    raise ServiceError(f"unknown op {op!r}")
+
+
+async def handle_connection(service: KeyExchangeService,
+                            reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+    """Serve one client: each line becomes a concurrent task, so one
+    slow exchange never head-of-line-blocks the connection."""
+    pending: set[asyncio.Task] = set()
+    write_lock = asyncio.Lock()
+
+    async def respond(payload: dict) -> None:
+        async with write_lock:  # one line at a time, interleaving-safe
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+
+    async def serve_one(request: dict) -> None:
+        request_id = request.get("id")
+        try:
+            result = await _dispatch(service, request)
+        except ReproError as exc:
+            await respond({"id": request_id, "ok": False,
+                           "code": exc.code, "error": str(exc)})
+        else:
+            await respond({"id": request_id, "ok": True,
+                           "result": result})
+
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionError, asyncio.LimitOverrunError,
+                    asyncio.CancelledError):
+                break
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                await respond({"id": None, "ok": False,
+                               "code": "service",
+                               "error": f"malformed request: {exc}"})
+                continue
+            task = asyncio.ensure_future(serve_one(request))
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+    finally:
+        for task in list(pending):
+            task.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            # Server shutdown cancels handlers mid-close; finishing
+            # normally keeps asyncio's task-exception logger quiet.
+            pass
+
+
+async def start_server(service: KeyExchangeService,
+                       host: str = "127.0.0.1",
+                       port: int = 0) -> asyncio.AbstractServer:
+    """Bind a TCP server for *service*; ``port=0`` picks a free port
+    (``server.sockets[0].getsockname()[1]`` reveals it)."""
+    return await asyncio.start_server(
+        lambda r, w: handle_connection(service, r, w),
+        host, port, limit=MAX_LINE_BYTES)
+
+
+class ServiceClient:
+    """Async JSON-lines client with out-of-order response correlation."""
+
+    def __init__(self) -> None:
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._ids = itertools.count(1)
+        self._waiters: dict[int, asyncio.Future] = {}
+        self._pump: asyncio.Task | None = None
+
+    async def connect(self, host: str, port: int) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES)
+        self._pump = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = json.loads(line)
+                waiter = self._waiters.pop(response.get("id"), None)
+                if waiter is None or waiter.done():
+                    continue
+                if response.get("ok"):
+                    waiter.set_result(response.get("result"))
+                else:
+                    error_cls = _error_class(
+                        response.get("code", "service"))
+                    waiter.set_exception(
+                        error_cls(response.get("error", "request failed")))
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            for waiter in self._waiters.values():
+                if not waiter.done():
+                    waiter.set_exception(
+                        ServiceError("connection closed"))
+            self._waiters.clear()
+
+    async def request(self, op: str, **fields):
+        if self._writer is None:
+            raise ServiceError("client is not connected")
+        request_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._waiters[request_id] = future
+        payload = {"id": request_id, "op": op, **fields}
+        self._writer.write(json.dumps(payload).encode() + b"\n")
+        await self._writer.drain()
+        return await future
+
+    # Convenience verbs mirroring KeyExchangeService's API.
+
+    async def keygen(self, tenant: str, seed) -> int:
+        return await self.request("keygen", tenant=tenant, seed=seed)
+
+    async def exchange(self, tenant: str, seed, peer: int,
+                       *, validate: bool = True) -> int:
+        return await self.request("exchange", tenant=tenant, seed=seed,
+                                  peer=peer, validate=validate)
+
+    async def verify(self, tenant: str, public: int) -> bool:
+        return await self.request("verify", tenant=tenant, public=public)
+
+    async def field_op(self, tenant: str, op: str, operands) -> int:
+        return await self.request("field_op", tenant=tenant,
+                                  field_op=op, operands=list(operands))
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+    async def ping(self) -> str:
+        return await self.request("ping")
+
+    async def aclose(self) -> None:
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except asyncio.CancelledError:
+                pass
+            self._pump = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._writer = None
+        self._reader = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()

@@ -54,6 +54,10 @@ __all__ = [
     "record_fault_injected", "record_fault_detected",
     "record_fault_recovery", "record_checked_run",
     "record_runner_evicted", "record_trace_invalidated",
+    "record_service_request", "record_service_rejected",
+    "record_service_latency", "record_service_inflight",
+    "record_service_demotion", "record_service_promotion",
+    "record_coalesced_batch",
 ]
 
 #: Process-global span recorder (disabled until :func:`enable`).
@@ -147,7 +151,7 @@ def record_kernel_run(
     """One :class:`~repro.kernels.runner.KernelRunner` execution."""
     if not TRACER.enabled:
         return
-    TRACER._stack[-1].self_cycles += cycles
+    TRACER.add_cycles(cycles)
     REGISTRY.counter(
         "kernel_runs_total", "kernel executions by engine"
     ).inc(kernel=kernel, engine=engine)
@@ -342,3 +346,89 @@ def record_trace_invalidated() -> None:
     REGISTRY.counter(
         "trace_invalidations_total", "replay traces invalidated"
     ).inc()
+
+
+# -- the multi-tenant key-exchange service -----------------------------------
+# (see repro.service and docs/SERVICE.md)
+
+#: Latency buckets for service requests (seconds; the cycle-flavoured
+#: default buckets would put every request in the first bucket).
+SERVICE_LATENCY_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+def record_service_request(tenant: str, op: str, outcome: str) -> None:
+    """One completed service request, by tenant, op and outcome."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "service_requests_total",
+        "service requests by tenant, op and outcome",
+    ).inc(tenant=tenant, op=op, outcome=outcome)
+
+
+def record_service_rejected(tenant: str, reason: str) -> None:
+    """A request bounced by admission control, by reason."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "service_rejections_total",
+        "admission-control rejections by tenant and reason",
+    ).inc(tenant=tenant, reason=reason)
+
+
+def record_service_latency(op: str, seconds: float) -> None:
+    """Wall-clock latency of one service request."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.histogram(
+        "service_request_seconds", "service request latency",
+        buckets=SERVICE_LATENCY_BUCKETS,
+    ).observe(seconds, op=op)
+
+
+def record_service_inflight(tenant: str, delta: int) -> None:
+    """Admitted-but-unfinished request count change for *tenant*."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.gauge(
+        "service_inflight", "admitted in-flight requests"
+    ).inc(delta, tenant=tenant)
+
+
+def record_service_demotion(
+    tenant: str, engine_from: str, engine_to: str, reason: str
+) -> None:
+    """A tenant demoted one rung down the engine ladder."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "service_demotions_total",
+        "tenant engine demotions by reason",
+    ).inc(tenant=tenant, engine_from=engine_from, engine_to=engine_to,
+          reason=reason)
+
+
+def record_service_promotion(tenant: str, engine_to: str) -> None:
+    """A tenant promoted one rung back up the engine ladder."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "service_promotions_total",
+        "tenant engine promotions after sustained health",
+    ).inc(tenant=tenant, engine_to=engine_to)
+
+
+def record_coalesced_batch(op: str, n: int) -> None:
+    """One coalesced flush of *n* requests into a batched execution."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "service_coalesced_batches_total",
+        "coalescer flushes into run_batch",
+    ).inc(op=op)
+    REGISTRY.counter(
+        "service_coalesced_items_total",
+        "requests served through coalesced batches",
+    ).inc(n, op=op)

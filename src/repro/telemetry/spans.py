@@ -30,10 +30,11 @@ run) keep the trace-replay engine's speed.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Iterator
 
-from repro.telemetry.metrics import LabelKey, _label_key
+from repro.telemetry.metrics import MUTATION_LOCK, LabelKey, _label_key
 
 
 class SpanNode:
@@ -137,8 +138,10 @@ class _ActiveSpan:
 
     def __exit__(self, *exc_info: object) -> bool:
         node = self._node
-        node.wall_s += time.perf_counter() - self._start
-        node.count += 1
+        elapsed = time.perf_counter() - self._start
+        with MUTATION_LOCK:
+            node.wall_s += elapsed
+            node.count += 1
         stack = self._tracer._stack
         # tolerate exception-driven unwinding out of nested spans
         while stack and stack.pop() is not node:
@@ -153,25 +156,46 @@ class Tracer:
     (``TRACER``); private instances are plain objects for tests and
     embedders.  ``enabled`` is a public attribute: instrumented code
     may read it directly to guard bigger recording blocks.
+
+    The span stack is **per thread** (each stack rooted at the shared
+    ``root``), so service worker threads record concurrent sessions as
+    parallel subtrees instead of corrupting one shared stack; node
+    mutation (cycles, counts, child creation) is serialised on
+    :data:`~repro.telemetry.metrics.MUTATION_LOCK`, keeping the
+    roll-up exact under concurrency.
     """
 
     def __init__(self) -> None:
         self.enabled = False
         self.root = SpanNode("root")
-        self._stack: list[SpanNode] = [self.root]
+        self._tls = threading.local()
+
+    @property
+    def _stack(self) -> list[SpanNode]:
+        """This thread's span stack (created rooted at ``root``).
+
+        A stale stack — one rooted at a pre-:meth:`reset` root — is
+        rebuilt on first access after the reset.
+        """
+        stack = getattr(self._tls, "stack", None)
+        if stack is None or not stack or stack[0] is not self.root:
+            stack = self._tls.stack = [self.root]
+        return stack
 
     def span(self, name: str, **labels: object):
         """Open (or re-enter) the span *name* under the current span."""
         if not self.enabled:
             return _NULL_SPAN
-        node = self._stack[-1].child(
-            name, _label_key(labels) if labels else ())
+        with MUTATION_LOCK:
+            node = self._stack[-1].child(
+                name, _label_key(labels) if labels else ())
         return _ActiveSpan(self, node)
 
     def add_cycles(self, cycles: int) -> None:
         """Attribute *cycles* to the innermost open span."""
         if self.enabled:
-            self._stack[-1].self_cycles += cycles
+            with MUTATION_LOCK:
+                self._stack[-1].self_cycles += cycles
 
     def current(self) -> SpanNode:
         return self._stack[-1]
@@ -179,7 +203,7 @@ class Tracer:
     def reset(self) -> None:
         """Drop the recorded tree (keeps the enabled flag)."""
         self.root = SpanNode("root")
-        self._stack = [self.root]
+        self._tls = threading.local()
 
 
 def render_span_tree(

@@ -1,0 +1,285 @@
+"""Unit tests: tenant policy, the engine ladder, the wire layer, CLI.
+
+The concurrency suites (``test_concurrent_sessions``,
+``test_admission``, ``test_fault_under_load``) exercise the service
+under load; this module pins the small contracts — config validation,
+ladder mechanics, seed normalisation, JSON-lines framing, error-code
+round-tripping over TCP, and the ``repro serve`` / ``repro load``
+CLI surface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.csidh.parameters import csidh_toy
+from repro.errors import AdmissionError, ServiceError
+from repro.service import (
+    ENGINE_LADDER,
+    KeyExchangeService,
+    ServiceClient,
+    Tenant,
+    TenantConfig,
+    default_tenant_configs,
+    start_server,
+)
+from repro.service.server import _seed_bytes
+from repro.service.wire import _error_class
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return csidh_toy()
+
+
+class TestTenantConfig:
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ServiceError):
+            TenantConfig("t", engine="quantum")
+
+    def test_rejects_zero_lanes(self):
+        with pytest.raises(ServiceError):
+            TenantConfig("t", lanes=0)
+
+    def test_rejects_negative_queue(self):
+        with pytest.raises(ServiceError):
+            TenantConfig("t", max_queue=-1)
+
+    def test_capacity_is_lanes_plus_queue(self):
+        assert TenantConfig("t", lanes=3, max_queue=5).capacity == 8
+
+    def test_default_fleet_is_uniform_and_named(self):
+        configs = default_tenant_configs(3, engine="replay", lanes=4)
+        assert [c.name for c in configs] \
+            == ["tenant-0", "tenant-1", "tenant-2"]
+        assert all(c.engine == "replay" and c.lanes == 4
+                   for c in configs)
+
+    def test_default_fleet_needs_at_least_one(self):
+        with pytest.raises(ServiceError):
+            default_tenant_configs(0)
+
+
+class TestEngineLadder:
+    def test_fault_demotion_walks_to_the_interpreter(self, toy):
+        tenant = Tenant(TenantConfig("t", engine="jit"), toy)
+        assert tenant.engine == "jit"
+        assert tenant.demote("fault")
+        assert tenant.engine == "replay"
+        assert tenant.demote("fault")
+        assert tenant.engine == "interpreter"
+        assert not tenant.demote("fault")  # floor reached
+        assert tenant.demotions == 2
+
+    def test_overload_demotion_stops_at_replay(self, toy):
+        tenant = Tenant(TenantConfig("t", engine="jit"), toy)
+        assert tenant.demote("overload")
+        assert tenant.engine == "replay"
+        assert not tenant.demote("overload")
+        assert tenant.engine == "replay"
+
+    def test_promotion_needs_a_full_clean_streak(self, toy):
+        tenant = Tenant(TenantConfig("t", engine="jit",
+                                     promote_after=3), toy)
+        tenant.demote("fault")
+        tenant.note_result(True)
+        tenant.note_result(True)
+        tenant.note_result(False)  # a dirty op resets the streak
+        tenant.note_result(True)
+        tenant.note_result(True)
+        assert tenant.engine == "replay"
+        tenant.note_result(True)
+        assert tenant.engine == "jit"
+        assert tenant.promotions == 1
+
+    def test_never_promotes_past_preference(self, toy):
+        tenant = Tenant(TenantConfig("t", engine="replay",
+                                     promote_after=1), toy)
+        for _ in range(5):
+            tenant.note_result(True)
+        assert tenant.engine == "replay"
+        assert tenant.promotions == 0
+
+    def test_ladder_order_is_fastest_first(self):
+        assert ENGINE_LADDER == ("jit", "replay", "interpreter")
+
+    def test_scope_prefix_separates_services(self, toy):
+        config = TenantConfig("t", lanes=2)
+        first = Tenant(config, toy, scope_prefix="svcA/")
+        second = Tenant(config, toy, scope_prefix="svcB/")
+        first_scopes = {lane.scope for lane in first.lanes}
+        second_scopes = {lane.scope for lane in second.lanes}
+        assert first_scopes.isdisjoint(second_scopes)
+
+
+class TestSeedNormalisation:
+    def test_bytes_pass_through(self):
+        assert _seed_bytes(b"abc") == b"abc"
+
+    def test_int_and_str_are_deterministic(self):
+        assert _seed_bytes(7) == _seed_bytes(7)
+        assert _seed_bytes(-7) != _seed_bytes(7)
+        assert _seed_bytes("alice") == b"alice"
+
+    def test_unsupported_type_is_service_error(self):
+        with pytest.raises(ServiceError):
+            _seed_bytes(3.14)
+
+
+class TestServiceSurface:
+    def test_duplicate_tenant_names_rejected(self, toy):
+        configs = [TenantConfig("same"), TenantConfig("same")]
+        with pytest.raises(ServiceError):
+            KeyExchangeService(toy, configs)
+
+    def test_unknown_tenant_and_bad_ops_are_service_errors(self, toy):
+        async def main():
+            config = TenantConfig("t", engine="replay")
+            async with KeyExchangeService(toy, [config]) as service:
+                with pytest.raises(ServiceError):
+                    await service.keygen("ghost", 1)
+                with pytest.raises(ServiceError):
+                    await service.field_op("t", "div", [1, 2])
+                with pytest.raises(ServiceError):
+                    await service.field_op("t", "mul", [1, 2, 3])
+                with pytest.raises(ServiceError):
+                    await service.exchange("t", 1, "not-a-coeff")
+
+        asyncio.run(main())
+
+    def test_closed_service_refuses_requests(self, toy):
+        async def main():
+            service = KeyExchangeService(
+                toy, [TenantConfig("t", engine="replay")])
+            await service.aclose()
+            with pytest.raises(ServiceError):
+                await service.keygen("t", 1)
+            with pytest.raises(ServiceError):
+                await service.field_op("t", "mul", [1, 2])
+
+        asyncio.run(main())
+
+    def test_verify_accepts_good_and_rejects_bad_keys(self, toy):
+        async def main():
+            config = TenantConfig("t", engine="replay")
+            async with KeyExchangeService(toy, [config]) as service:
+                public = await service.keygen("t", 42)
+                assert await service.verify("t", public) is True
+                # 2 is not a supersingular coefficient for the toy p
+                assert await service.verify("t", 2) is False
+
+        asyncio.run(main())
+
+
+class TestWireLayer:
+    def test_error_class_resolves_stable_codes(self):
+        assert _error_class("admission") is AdmissionError
+        assert _error_class("service") is ServiceError
+        assert _error_class("no-such-code") is ServiceError
+
+    def test_full_roundtrip_over_tcp(self, toy):
+        async def main():
+            config = TenantConfig("t", engine="replay", lanes=2)
+            service = KeyExchangeService(toy, [config])
+            server = await start_server(service)
+            port = server.sockets[0].getsockname()[1]
+            async with ServiceClient() as client:
+                await client.connect("127.0.0.1", port)
+                assert await client.ping() == "pong"
+                public = await client.keygen("t", 11)
+                secret_ab = await client.exchange("t", 12, public)
+                public_b = await client.keygen("t", 12)
+                secret_ba = await client.exchange("t", 11, public_b)
+                assert secret_ab == secret_ba
+                assert await client.verify("t", public) is True
+                assert await client.field_op("t", "mul", [7, 9]) == 63
+                stats = await client.stats()
+                assert stats["tenants"]["t"]["engine"] == "replay"
+                # errors come back typed with their stable code
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.keygen("ghost", 1)
+                assert excinfo.value.code == "service"
+                assert not isinstance(excinfo.value, AdmissionError)
+            server.close()
+            await server.wait_closed()
+            await service.aclose()
+
+        asyncio.run(main())
+
+    def test_malformed_lines_get_in_band_errors(self, toy):
+        async def main():
+            config = TenantConfig("t", engine="replay")
+            service = KeyExchangeService(toy, [config])
+            server = await start_server(service)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port)
+            writer.write(b"this is not json\n")
+            writer.write(b'[1, 2, 3]\n')
+            writer.write(json.dumps(
+                {"id": 9, "op": "teleport"}).encode() + b"\n")
+            await writer.drain()
+            responses = [json.loads(await reader.readline())
+                         for _ in range(3)]
+            writer.close()
+            await writer.wait_closed()
+            server.close()
+            await server.wait_closed()
+            await service.aclose()
+            return responses
+
+        responses = asyncio.run(main())
+        assert all(not r["ok"] for r in responses)
+        assert responses[0]["code"] == "service"
+        assert responses[1]["code"] == "service"
+        by_id = [r for r in responses if r["id"] == 9]
+        assert by_id and "teleport" in by_id[0]["error"]
+
+
+class TestCli:
+    def test_load_subcommand_runs_and_appends_bench(self, tmp_path,
+                                                    capsys):
+        bench = tmp_path / "BENCH_service.json"
+        exit_code = main([
+            "load", "--params", "toy", "--exchanges", "2",
+            "--concurrency", "2", "--tenants", "1", "--engine",
+            "replay", "--bench-out", str(bench),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "0 divergences" in captured.out
+        document = json.loads(bench.read_text())
+        assert document["benchmark"] == "protocol"
+        record = document["runs"][-1]
+        assert record["mode"] == "service_load"
+        assert record["exchanges"] == 2
+        assert record["divergences"] == 0
+        assert record["requests"] == 8
+        assert record["latency_p99_ms"] >= record["latency_p50_ms"]
+
+    def test_load_rejects_bad_knobs(self):
+        assert main(["load", "--params", "toy",
+                     "--exchanges", "0"]) == 2
+        assert main(["load", "--params", "toy",
+                     "--concurrency", "0"]) == 2
+
+    def test_service_commands_refuse_full_size_params(self):
+        assert main(["load", "--params", "csidh-512",
+                     "--exchanges", "1"]) == 2
+        assert main(["serve", "--params", "csidh-512"]) == 2
+
+    def test_parser_wires_serve_and_load(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--params", "toy", "--port", "7007"])
+        assert args.port == 7007
+        assert args.engine == "jit"
+        args = parser.parse_args(
+            ["load", "--params", "toy", "--hardened"])
+        assert args.hardened is True
+        assert args.exchanges == 100
+        assert args.concurrency == 16
