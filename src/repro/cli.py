@@ -17,7 +17,16 @@ Commands:
 * ``bench`` — time one simulated group action per execution engine
   (interpreter / replay / jit) plus the batched field API, verify the
   outputs agree, and optionally append the comparison to the
-  ``BENCH_protocol.json`` perf trajectory.
+  ``BENCH_protocol.json`` perf trajectory;
+* ``serve`` / ``load`` — the multi-tenant TCP service and its load
+  harness (``load`` traces by default when it owns the service, and
+  can drive a live server with ``--connect``);
+* ``trace`` — record a traced load workload (or attach to a live
+  server via ``--connect``) and export the span forest as Chrome
+  ``trace_event`` JSON and/or collapsed-stack flamegraph text;
+* ``top`` — live dashboard over a running service's ``stats`` op;
+* ``watchdog`` — perf-regression gate over ``BENCH_*.json``
+  trajectories (exit 1 on regression, stable code ``regression``).
 
 ``action``, ``table4`` and ``report`` additionally accept
 ``--telemetry PATH`` to export spans and metrics (JSON, or JSONL when
@@ -386,12 +395,63 @@ def _service_configs(args: argparse.Namespace):
     return params, configs
 
 
+def _parse_endpoint(value: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``:PORT``) for ``--connect`` flags."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ParameterError(
+            f"--connect expects HOST:PORT (got {value!r})")
+    return host or "127.0.0.1", int(port)
+
+
+def _print_trace_summary(summary: dict) -> None:
+    print(f"trace: {summary['span_count']} span(s), "
+          f"{summary['requests']} request(s), "
+          f"{summary['batches']} batch(es), "
+          f"{summary['total_cycles']} simulated cycle(s)")
+    for row in summary["top_kernels"]:
+        print(f"  {row['kernel']:<28} {row['cycles']:>12} cycles")
+
+
+def _write_trace_exports(root, chrome_path: str | None,
+                         flamegraph_path: str | None) -> None:
+    """Chrome ``trace_event`` JSON / collapsed-stack flamegraph text."""
+    import json as json_module
+
+    from repro.telemetry import tracing
+
+    if not (chrome_path or flamegraph_path):
+        return
+    if root is None:
+        print("no trace recorded (is the server's telemetry on?); "
+              "skipping trace export")
+        return
+    if chrome_path:
+        with open(chrome_path, "w", encoding="utf-8") as handle:
+            json_module.dump(tracing.to_chrome_trace(root), handle)
+            handle.write("\n")
+        print(f"chrome trace written to {chrome_path} "
+              f"(load it in about://tracing or ui.perfetto.dev)")
+    if flamegraph_path:
+        with open(flamegraph_path, "w", encoding="utf-8") as handle:
+            handle.write(tracing.to_collapsed(root))
+        print(f"collapsed stacks written to {flamegraph_path} "
+              f"(feed to flamegraph.pl or speedscope)")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro import telemetry
     from repro.service import KeyExchangeService, start_server
 
     params, configs = _service_configs(args)
+    if not args.no_telemetry:
+        # Default-on: per-request traces cost little (spans only
+        # materialise per request/kernel aggregate) and make the
+        # trace_export op, `repro trace --connect` and `repro top`
+        # useful against a live server.
+        telemetry.enable()
 
     async def serve() -> None:
         service = KeyExchangeService(params, configs)
@@ -400,7 +460,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving {params.name} key exchange on {host}:{port} "
               f"({args.tenants} tenant(s) x {args.lanes} lane(s), "
               f"engine {args.engine}"
-              f"{', hardened' if args.hardened else ''})")
+              f"{', hardened' if args.hardened else ''}, telemetry "
+              f"{'off' if args.no_telemetry else 'on'})")
         try:
             async with server:
                 await server.serve_forever()
@@ -417,7 +478,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_load(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.service import run_load
+    from repro.errors import ServiceError
+    from repro.service import run_load, run_load_remote
     from repro.telemetry.export import write_bench
 
     if args.exchanges < 1:
@@ -427,18 +489,37 @@ def _cmd_load(args: argparse.Namespace) -> int:
         raise ParameterError(
             f"--concurrency must be at least 1 (got "
             f"{args.concurrency})")
-    params, configs = _service_configs(args)
 
-    report = asyncio.run(run_load(
-        params,
-        exchanges=args.exchanges,
-        concurrency=args.concurrency,
-        tenant_configs=configs,
-        engine=args.engine,
-        hardened=args.hardened,
-        seed=args.seed,
-    ))
+    if args.connect:
+        host, port = _parse_endpoint(args.connect)
+        params = _PARAM_SETS[args.params]()
+        try:
+            report = asyncio.run(run_load_remote(
+                params, host, port,
+                exchanges=args.exchanges,
+                concurrency=args.concurrency,
+                seed=args.seed,
+            ))
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to {host}:{port}: {exc}") from exc
+    else:
+        params, configs = _service_configs(args)
+        report = asyncio.run(run_load(
+            params,
+            exchanges=args.exchanges,
+            concurrency=args.concurrency,
+            tenant_configs=configs,
+            engine=args.engine,
+            hardened=args.hardened,
+            seed=args.seed,
+            trace=not args.no_trace,
+        ))
     print(report.summary())
+    if report.trace_summary is not None:
+        _print_trace_summary(report.trace_summary)
+    _write_trace_exports(report.trace_root, args.chrome_out,
+                         args.flamegraph_out)
     if args.bench_out:
         write_bench(args.bench_out, "protocol", report.to_record())
         print(f"benchmark trajectory appended to {args.bench_out}")
@@ -446,6 +527,130 @@ def _cmd_load(args: argparse.Namespace) -> int:
         # A divergence is an escape: a wrong result left the service.
         print(f"FAIL: {report.divergences} result(s) diverged from "
               f"the sequential pure-Python reference")
+        return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as json_module
+
+    from repro.errors import ServiceError
+    from repro.telemetry import tracing
+    from repro.telemetry.export import span_to_dict
+
+    if args.connect:
+        host, port = _parse_endpoint(args.connect)
+
+        async def fetch() -> dict:
+            from repro.service import ServiceClient
+
+            async with await ServiceClient().connect(
+                    host, port) as client:
+                return await client.trace_export(
+                    spans=True, reset=args.reset, op=args.op,
+                    tenant=args.tenant, trace=args.trace_id)
+
+        try:
+            document = asyncio.run(fetch())
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to {host}:{port}: {exc}") from exc
+        if not document.get("enabled", True):
+            print("server telemetry is disabled "
+                  "(start it without --no-telemetry)")
+        print(tracing.render_trace_summary(document, limit=args.limit))
+        root = (tracing.document_to_root(document)
+                if document.get("traces") else None)
+    else:
+        if args.exchanges < 1:
+            raise ParameterError(
+                f"--exchanges must be at least 1 "
+                f"(got {args.exchanges})")
+        from repro.service import run_load
+
+        params, configs = _service_configs(args)
+        report = asyncio.run(run_load(
+            params,
+            exchanges=args.exchanges,
+            concurrency=args.concurrency,
+            tenant_configs=configs,
+            engine=args.engine,
+            hardened=args.hardened,
+            seed=args.seed,
+            trace=True,
+        ))
+        print(report.summary())
+        root = report.trace_root
+        document = None
+
+    if root is not None:
+        _print_trace_summary(tracing.summarize_root(root))
+    if args.json:
+        payload = document if document is not None else {
+            "enabled": True,
+            "spans": span_to_dict(root) if root is not None else None,
+            "summary": (tracing.summarize_root(root)
+                        if root is not None else None),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"trace document written to {args.json}")
+    _write_trace_exports(root, args.chrome, args.flamegraph)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import ServiceError
+    from repro.telemetry.dashboard import poll_dashboard
+
+    host, port = _parse_endpoint(args.connect)
+    if args.interval <= 0:
+        raise ParameterError(
+            f"--interval must be positive (got {args.interval})")
+    try:
+        asyncio.run(poll_dashboard(
+            host, port,
+            interval_s=args.interval,
+            iterations=args.iterations,
+            plain=args.plain,
+        ))
+    except OSError as exc:
+        raise ServiceError(
+            f"cannot connect to {host}:{port}: {exc}") from exc
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_watchdog(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.telemetry import watchdog
+
+    overrides = {
+        name: value for name, value in (
+            ("latency", args.latency_tolerance),
+            ("throughput", args.throughput_tolerance),
+            ("cycles", args.cycles_tolerance),
+        ) if value is not None
+    }
+    tolerances = watchdog.Tolerances(**overrides)
+    report = watchdog.check_paths(args.paths, tolerances=tolerances)
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"watchdog report written to {args.json}")
+    if not report.ok:
+        # Exit 1, not 2: a regression is a *finding*, distinct from
+        # usage/environment errors (which raise ReproError -> 2).
+        print(f"error [regression]: {len(report.findings)} perf "
+              f"regression(s) beyond tolerance", file=sys.stderr)
         return 1
     return 0
 
@@ -585,6 +790,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0,
                    help="0 picks a free port (printed at startup)")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="skip telemetry.enable(): no request traces, "
+                        "empty trace_export")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -597,10 +805,87 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--concurrency", type=int, default=16,
                    help="handshakes in flight at once")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="drive a live `repro serve` instance over "
+                        "the wire instead of an in-process service")
+    p.add_argument("--no-trace", action="store_true",
+                   help="skip request tracing (and the "
+                        "cycle-conservation assertion) for the "
+                        "in-process run")
+    p.add_argument("--chrome-out", default=None, metavar="PATH",
+                   help="write the traced run as Chrome trace_event "
+                        "JSON")
+    p.add_argument("--flamegraph-out", default=None, metavar="PATH",
+                   help="write the traced run as collapsed stacks "
+                        "(flamegraph.pl / speedscope input)")
     p.add_argument("--bench-out", default=None, metavar="PATH",
                    help="append a service_load record to the "
                         "BENCH_*.json perf trajectory")
     p.set_defaults(func=_cmd_load)
+
+    p = sub.add_parser(
+        "trace",
+        help="record a traced workload (or attach to a live server) "
+             "and export Chrome trace / flamegraph artifacts")
+    service_knobs(p)
+    p.add_argument("--exchanges", type=int, default=10,
+                   help="handshakes for the recorded workload")
+    p.add_argument("--concurrency", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="fetch traces from a live server's "
+                        "trace_export op instead of recording")
+    p.add_argument("--op", default=None,
+                   help="with --connect: only traces for this op")
+    p.add_argument("--tenant", default=None,
+                   help="with --connect: only traces for this tenant")
+    p.add_argument("--trace-id", default=None,
+                   help="with --connect: one specific trace")
+    p.add_argument("--reset", action="store_true",
+                   help="with --connect: clear the server's recorded "
+                        "traces after exporting")
+    p.add_argument("--limit", type=int, default=20,
+                   help="rows in the per-trace summary table")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full trace document as JSON")
+    p.add_argument("--chrome", default=None, metavar="PATH",
+                   help="write Chrome trace_event JSON")
+    p.add_argument("--flamegraph", default=None, metavar="PATH",
+                   help="write collapsed stacks")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "top",
+        help="live dashboard over a running service's stats op")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between polls")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="frames to draw (default: until ctrl-C)")
+    p.add_argument("--plain", action="store_true",
+                   help="append frames instead of clearing the "
+                        "screen (for logs/pipes)")
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "watchdog",
+        help="perf-regression gate over BENCH_*.json trajectories "
+             "(exit 1 on regression)")
+    p.add_argument("paths", nargs="+", metavar="BENCH_JSON",
+                   help="trajectory files (e.g. BENCH_protocol.json "
+                        "BENCH_service.json)")
+    p.add_argument("--latency-tolerance", type=float, default=None,
+                   help="allowed relative growth of wall-clock "
+                        "metrics (default 0.5)")
+    p.add_argument("--throughput-tolerance", type=float, default=None,
+                   help="allowed relative drop of throughput "
+                        "(default 0.35)")
+    p.add_argument("--cycles-tolerance", type=float, default=None,
+                   help="allowed relative growth of simulated cycle "
+                        "counts (default 0.0: any increase fails)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full report as JSON")
+    p.set_defaults(func=_cmd_watchdog)
 
     p = sub.add_parser("kernel", help="dump a generated kernel")
     p.add_argument("name", help="e.g. fp_mul.reduced.ise")

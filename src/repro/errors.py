@@ -102,6 +102,19 @@ class AdmissionError(ServiceError):
     code = "admission"
 
 
+class RegressionError(ReproError):
+    """A benchmark trajectory regressed beyond the watchdog tolerance.
+
+    Raised by :func:`repro.telemetry.watchdog.enforce` (and reported by
+    ``repro watchdog`` with this stable ``code`` and exit status 1)
+    when the latest run of a ``BENCH_*.json`` trajectory is slower, less
+    throughput-y, or more cycle-hungry than its own baseline by more
+    than the configured tolerance.
+    """
+
+    code = "regression"
+
+
 class RecoveryExhaustedError(FaultError):
     """Bounded retry-with-fallback failed to restore a correct result.
 

@@ -13,13 +13,19 @@ Public surface:
 * :class:`RequestCoalescer` — the batching window;
 * :func:`start_server` / :class:`ServiceClient` — the JSON-lines TCP
   wire layer;
-* :func:`run_load` / :class:`LoadReport` — the load harness behind
-  ``repro load`` and the CI ``service-load`` job.
+* :func:`run_load` / :func:`run_load_remote` / :class:`LoadReport` —
+  the load harness behind ``repro load`` and the CI ``service-load``
+  job (in-process, or over the wire against a live server).
 """
 
 from repro.service.admission import AdmissionController, Ticket
 from repro.service.coalesce import RequestCoalescer
-from repro.service.load import LoadReport, expected_handshakes, run_load
+from repro.service.load import (
+    LoadReport,
+    expected_handshakes,
+    run_load,
+    run_load_remote,
+)
 from repro.service.server import FIELD_OPS, KeyExchangeService
 from repro.service.tenancy import (
     ENGINE_LADDER,
@@ -48,5 +54,6 @@ __all__ = [
     "expected_handshakes",
     "handle_connection",
     "run_load",
+    "run_load_remote",
     "start_server",
 ]

@@ -69,6 +69,7 @@ class AdmissionController:
         self._lock = threading.Lock()
         self._capacity: dict[str, int] = {}
         self._inflight: dict[str, int] = {}
+        self._rejected: dict[str, int] = {}
         self._max_inflight = max_inflight
         self._total = 0
 
@@ -105,6 +106,7 @@ class AdmissionController:
                 ticket = Ticket(self, tenant)
                 telemetry.record_service_inflight(tenant, 1)
                 return ticket
+            self._rejected[tenant] = self._rejected.get(tenant, 0) + 1
         telemetry.record_service_rejected(tenant, reason)
         raise AdmissionError(
             f"request for tenant {tenant!r} rejected ({reason}): "
@@ -132,6 +134,15 @@ class AdmissionController:
     def total_inflight(self) -> int:
         with self._lock:
             return self._total
+
+    def rejected(self, tenant: str) -> int:
+        """Total admission rejections for *tenant* (for ``stats``)."""
+        with self._lock:
+            return self._rejected.get(tenant, 0)
+
+    def total_rejected(self) -> int:
+        with self._lock:
+            return sum(self._rejected.values())
 
     def capacity(self, tenant: str) -> int:
         with self._lock:

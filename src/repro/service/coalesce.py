@@ -22,10 +22,12 @@ normally.  ``flush``/``drain`` bound the wait for stragglers.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Awaitable, Callable, Sequence
 
 from repro import telemetry
 from repro.errors import ServiceError
+from repro.telemetry import tracing
 
 #: ``execute(op, [operands, ...]) -> [value, ...]`` — the batched
 #: backend, typically ``SimulatedFieldContext.<op>_batch`` hopped onto
@@ -63,18 +65,25 @@ class RequestCoalescer:
         self._execute = execute
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
-        self._pending: dict[str, list[tuple[tuple, asyncio.Future]]] = {}
+        # bucket item: (operands, future, member trace, submit time)
+        self._pending: dict[str, list[tuple]] = {}
         self._timers: dict[str, asyncio.TimerHandle] = {}
         self._running: set[asyncio.Task] = set()
         self.batches_flushed = 0
         self.items_flushed = 0
 
     async def submit(self, op: str, operands: Sequence[int]):
-        """Queue one *op* request; resolves with its value."""
+        """Queue one *op* request; resolves with its value.
+
+        The caller's active trace context (if any) rides along with
+        the operands, so the flushed batch can record every member
+        trace_id and book each member's coalescing wait.
+        """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         bucket = self._pending.setdefault(op, [])
-        bucket.append((tuple(operands), future))
+        bucket.append((tuple(operands), future,
+                       tracing.current_trace(), time.perf_counter()))
         if len(bucket) >= self.max_batch:
             self._flush_op(op)
         elif op not in self._timers:
@@ -94,22 +103,36 @@ class RequestCoalescer:
         task.add_done_callback(self._running.discard)
 
     async def _run_batch(self, op, items) -> None:
+        now = time.perf_counter()
+        batch_ctx = tracing.begin_batch(
+            op, [(ctx, now - queued)
+                 for _, _, ctx, queued in items])
+        started = time.perf_counter()
         try:
-            values = await self._execute(
-                op, [operands for operands, _ in items])
+            # The batch context travels by contextvar (per-task, so
+            # concurrent flushes cannot interleave): the executor's
+            # blocking call re-activates it on its worker thread and
+            # the batch's kernel cycles land under the batch node —
+            # once, not once per member.
+            with tracing.using(batch_ctx):
+                values = await self._execute(
+                    op, [operands for operands, _, _, _ in items])
             if len(values) != len(items):
                 raise ServiceError(
                     f"batch executor returned {len(values)} values "
                     f"for {len(items)} {op!r} requests")
         except Exception as exc:  # noqa: BLE001 — forwarded, not eaten
-            for _, future in items:
+            tracing.finish_batch(
+                batch_ctx, time.perf_counter() - started, ok=False)
+            for _, future, _, _ in items:
                 if not future.done():
                     future.set_exception(exc)
             return
+        tracing.finish_batch(batch_ctx, time.perf_counter() - started)
         self.batches_flushed += 1
         self.items_flushed += len(items)
         telemetry.record_coalesced_batch(op, len(items))
-        for (_, future), value in zip(items, values):
+        for (_, future, _, _), value in zip(items, values):
             if not future.done():
                 future.set_result(value)
 

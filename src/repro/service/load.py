@@ -24,14 +24,19 @@ from __future__ import annotations
 import asyncio
 import math
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.csidh.parameters import CsidhParameters
 from repro.csidh.protocol import Csidh, PrivateKey
 from repro.errors import AdmissionError, ServiceError
 from repro.field.fp import FieldContext
 from repro.service.server import KeyExchangeService
 from repro.service.tenancy import TenantConfig, default_tenant_configs
+from repro.telemetry import tracing
+from repro.telemetry.metrics import TelemetryError
+from repro.telemetry.spans import SpanNode
 
 #: Backoff between admission retries; rejections are expected under
 #: deliberate overload and simply retried.
@@ -58,6 +63,13 @@ class LoadReport:
     fault_detections: int
     fault_recoveries: int
     latencies_s: list[float] = field(default_factory=list, repr=False)
+    #: Compact trace summary (span count, top kernels by cycles) when
+    #: the run was traced; lands in the BENCH record as ``trace``.
+    trace_summary: dict | None = None
+    #: The traced span forest (local capture root, or the forest
+    #: rebuilt from a remote ``trace_export``) for chrome/flamegraph
+    #: export; not part of the BENCH record.
+    trace_root: SpanNode | None = field(default=None, repr=False)
 
     @property
     def throughput(self) -> float:
@@ -76,7 +88,7 @@ class LoadReport:
 
     def to_record(self) -> dict:
         """The ``service_load`` BENCH-trajectory record."""
-        return {
+        record = {
             "mode": "service_load",
             "params": self.params,
             "exchanges": self.exchanges,
@@ -97,6 +109,9 @@ class LoadReport:
             "fault_detections": self.fault_detections,
             "fault_recoveries": self.fault_recoveries,
         }
+        if self.trace_summary is not None:
+            record["trace"] = self.trace_summary
+        return record
 
     def summary(self) -> str:
         return (
@@ -171,6 +186,7 @@ async def run_load(
     seed: int = 0,
     service: KeyExchangeService | None = None,
     oracle: list[tuple[int, int, int]] | None = None,
+    trace: bool = False,
 ) -> LoadReport:
     """Drive *exchanges* full handshakes, *concurrency* at a time.
 
@@ -178,6 +194,13 @@ async def run_load(
     armed); otherwise a fresh one is built from the tenant knobs and
     closed afterwards.  Pass *oracle* (from
     :func:`expected_handshakes`) to skip recomputing the reference.
+
+    With ``trace=True`` the whole run records under a telemetry
+    capture: every request gets a trace context, the report carries
+    the span forest (:attr:`LoadReport.trace_root`) and its summary,
+    and the **cycle-conservation invariant** is asserted — the
+    forest's total cycles must equal the sum of every lane context's
+    independently accumulated ``simulated_cycles``, exactly.
     """
     if exchanges < 1:
         raise ServiceError("need at least one exchange")
@@ -188,6 +211,10 @@ async def run_load(
             tenants, engine=engine, hardened=hardened, lanes=lanes,
             max_queue=max_queue, variant=variant)
     owns_service = service is None
+    if trace and not owns_service:
+        raise ServiceError(
+            "trace=True needs to own the service: a pre-built instance "
+            "may already hold simulated cycles outside the capture")
     if service is None:
         service = KeyExchangeService(params, tenant_configs)
     tenant_names = list(service.tenants)
@@ -225,23 +252,38 @@ async def run_load(
                 and secret_ab == want_secret
                 and secret_ba == want_secret)
 
+    capture_cm = telemetry.capture() if trace else nullcontext(None)
+    trace_root: SpanNode | None = None
+    trace_summary: dict | None = None
     started = time.perf_counter()
     try:
-        outcomes = await asyncio.gather(
-            *(handshake(i) for i in range(exchanges)))
-        await service.drain()
-        duration = time.perf_counter() - started
-        divergences = sum(1 for ok in outcomes if not ok)
-        # Collect before aclose(): closing a lane clears its contexts
-        # (and with them the fault counters).
-        demotions = promotions = detections = recoveries = 0
-        for tenant in service.tenants.values():
-            demotions += tenant.demotions
-            promotions += tenant.promotions
-            for lane in tenant.lanes:
-                lane_det, lane_rec = lane.fault_counts()
-                detections += lane_det
-                recoveries += lane_rec
+        with capture_cm as cap:
+            outcomes = await asyncio.gather(
+                *(handshake(i) for i in range(exchanges)))
+            await service.drain()
+            duration = time.perf_counter() - started
+            divergences = sum(1 for ok in outcomes if not ok)
+            # Collect before aclose(): closing a lane clears its
+            # contexts (and with them the fault counters).
+            demotions = promotions = detections = recoveries = 0
+            simulated = 0
+            for tenant in service.tenants.values():
+                demotions += tenant.demotions
+                promotions += tenant.promotions
+                for lane in tenant.lanes:
+                    lane_det, lane_rec = lane.fault_counts()
+                    detections += lane_det
+                    recoveries += lane_rec
+                    simulated += lane.simulated_cycles()
+            if trace:
+                trace_root = cap.root
+                tree_total = trace_root.total_cycles
+                if tree_total != simulated:
+                    raise TelemetryError(
+                        f"cycle attribution leak under tracing: span "
+                        f"forest holds {tree_total} cycles, lane "
+                        f"contexts ran {simulated}")
+                trace_summary = tracing.summarize_root(trace_root)
     finally:
         if owns_service:
             await service.aclose()
@@ -262,4 +304,114 @@ async def run_load(
         fault_detections=detections,
         fault_recoveries=recoveries,
         latencies_s=latencies,
+        trace_summary=trace_summary,
+        trace_root=trace_root,
+    )
+
+
+async def run_load_remote(
+    params: CsidhParameters,
+    host: str,
+    port: int,
+    *,
+    exchanges: int = 100,
+    concurrency: int = 16,
+    seed: int = 0,
+    oracle: list[tuple[int, int, int]] | None = None,
+) -> LoadReport:
+    """Drive a **live** ``repro serve`` instance over the wire.
+
+    The same handshake fleet and pure-Python oracle as
+    :func:`run_load`, but through a :class:`ServiceClient` — so the
+    measured latencies include the JSON-lines round trip, and the
+    trace forest comes back via the ``trace_export`` op (empty when
+    the server runs without telemetry).  Ladder/fault/rejection totals
+    are deltas of the server's ``stats`` around the run.
+    """
+    from repro.service.wire import ServiceClient
+
+    if exchanges < 1:
+        raise ServiceError("need at least one exchange")
+    if concurrency < 1:
+        raise ServiceError("concurrency must be positive")
+    if oracle is None:
+        oracle = expected_handshakes(params, exchanges, seed=seed)
+    if len(oracle) < exchanges:
+        raise ServiceError(
+            f"oracle covers {len(oracle)} sessions, need {exchanges}")
+
+    async with await ServiceClient().connect(host, port) as client:
+        before = await client.stats()
+        if before["modulus_bits"] != params.p.bit_length():
+            raise ServiceError(
+                f"server runs a {before['modulus_bits']}-bit modulus, "
+                f"oracle params {params.name!r} are "
+                f"{params.p.bit_length()}-bit")
+        tenant_names = sorted(before["tenants"])
+
+        gate = asyncio.Semaphore(concurrency)
+        latencies: list[float] = []
+        rejections = [0]
+
+        async def timed(coroutine_factory):
+            started = time.perf_counter()
+            result = await _with_admission_retry(
+                coroutine_factory, rejections)
+            latencies.append(time.perf_counter() - started)
+            return result
+
+        async def handshake(index: int) -> bool:
+            tenant = tenant_names[index % len(tenant_names)]
+            seed_a, seed_b = _session_seeds(seed, index)
+            async with gate:
+                pub_a = await timed(
+                    lambda: client.keygen(tenant, seed_a))
+                pub_b = await timed(
+                    lambda: client.keygen(tenant, seed_b))
+                secret_ab = await timed(
+                    lambda: client.exchange(tenant, seed_a, pub_b))
+                secret_ba = await timed(
+                    lambda: client.exchange(tenant, seed_b, pub_a))
+            want_a, want_b, want_secret = oracle[index]
+            return (pub_a == want_a and pub_b == want_b
+                    and secret_ab == want_secret
+                    and secret_ba == want_secret)
+
+        started = time.perf_counter()
+        outcomes = await asyncio.gather(
+            *(handshake(i) for i in range(exchanges)))
+        duration = time.perf_counter() - started
+        after = await client.stats()
+        document = await client.trace_export()
+
+    def tenant_delta(key: str) -> int:
+        return sum(
+            after["tenants"][name][key] - before["tenants"][name][key]
+            for name in tenant_names)
+
+    trace_root = trace_summary = None
+    if document.get("traces"):
+        trace_root = tracing.document_to_root(document)
+        trace_summary = tracing.summarize_root(trace_root)
+    engines = {before["tenants"][n]["preferred_engine"]
+               for n in tenant_names}
+    return LoadReport(
+        params=params.name,
+        exchanges=exchanges,
+        concurrency=concurrency,
+        tenants=len(tenant_names),
+        engine=engines.pop() if len(engines) == 1 else "mixed",
+        hardened=any(before["tenants"][n]["hardened"]
+                     for n in tenant_names),
+        duration_s=duration,
+        requests=len(latencies),
+        divergences=sum(1 for ok in outcomes if not ok),
+        rejections=rejections[0],
+        demotions=tenant_delta("demotions"),
+        promotions=tenant_delta("promotions"),
+        fault_detections=tenant_delta("fault_detections"),
+        fault_recoveries=tenant_delta("fault_recoveries"),
+        latencies_s=latencies,
+        trace_summary=trace_summary,
+        trace_root=trace_root,
     )

@@ -28,12 +28,15 @@ requests.  Field ops from many sessions are coalesced into
 from __future__ import annotations
 
 import asyncio
+import math
 import random
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
 from repro import telemetry
+from repro.telemetry import tracing
 from repro.csidh.parameters import CsidhParameters
 from repro.csidh.protocol import PrivateKey, PublicKey
 from repro.csidh.validate import is_supersingular
@@ -58,6 +61,10 @@ FIELD_OPS = {"mul": 2, "sqr": 1, "add": 2, "sub": 2}
 #: Tenant saturation (inflight / capacity) at which an admitted
 #: request triggers an overload demotion (jit -> replay only).
 DEFAULT_OVERLOAD_THRESHOLD = 0.9
+
+#: Completed-request latencies kept for the ``stats`` percentiles
+#: (a sliding window, so ``repro top`` shows recent behaviour).
+LATENCY_WINDOW = 1024
 
 
 def _seed_bytes(seed) -> bytes:
@@ -128,6 +135,12 @@ class KeyExchangeService:
             )
             for name, tenant in self.tenants.items()
         }
+        # Request accounting for ``stats`` / ``repro top`` (event-loop
+        # only, so plain dicts suffice).
+        self._requests: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._started_monotonic = time.monotonic()
         self._closed = False
 
     # -- tenant / lane plumbing ----------------------------------------------
@@ -146,6 +159,25 @@ class KeyExchangeService:
 
     # -- the degradation ladder in action ------------------------------------
 
+    @staticmethod
+    def _traced_call(call, trace, engine: str, lane: Lane):
+        """Run *call* on a worker thread, continuing *trace* there.
+
+        ``run_in_executor`` does not propagate contextvars, so the
+        trace context crosses the thread boundary explicitly: the
+        request's span node is adopted onto this worker's span stack
+        and an ``execute[engine=...]`` child records the attempt —
+        demoted retries of one request appear as sibling ``execute``
+        spans under the same trace.  Without a trace (telemetry off,
+        or an untraced embedder call) this is exactly the old direct
+        call.
+        """
+        if trace is None or trace.node is None:
+            return call(engine, lane)
+        with tracing.activate(trace):
+            with telemetry.span("execute", engine=engine):
+                return call(engine, lane)
+
     async def _run_on_ladder(self, tenant: Tenant, lane: Lane,
                              op: str, call):
         """Run blocking *call(engine, lane)* on the executor, demoting
@@ -155,12 +187,14 @@ class KeyExchangeService:
         engine's.
         """
         loop = asyncio.get_running_loop()
+        trace = tracing.current_trace()
         while True:
             engine = tenant.engine
             detections_before, _ = lane.fault_counts()
             try:
                 result = await loop.run_in_executor(
-                    self._executor, call, engine, lane)
+                    self._executor, self._traced_call, call, trace,
+                    engine, lane)
             except (FaultError, SimulationError):
                 # Detected divergence, exhausted recovery, or a
                 # simulator crash: suspect the current tier's compiled
@@ -178,35 +212,56 @@ class KeyExchangeService:
             tenant.note_result(clean)
             return result
 
-    async def _run_op(self, tenant_name: str, op: str, call):
-        """Admission -> lane -> ladder -> telemetry, for one request."""
+    def _note_request(self, tenant: str, seconds: float,
+                      ok: bool) -> None:
+        """Stats-window bookkeeping for one finished request."""
+        self._requests[tenant] = self._requests.get(tenant, 0) + 1
+        if not ok:
+            self._errors[tenant] = self._errors.get(tenant, 0) + 1
+        self._latencies.append(seconds)
+
+    async def _run_op(self, tenant_name: str, op: str, call,
+                      trace_id: str | None = None):
+        """Admission -> lane -> ladder -> telemetry, for one request.
+
+        The whole pipeline runs under a per-request trace context
+        (:func:`repro.telemetry.tracing.request_trace`): with telemetry
+        enabled, the request's span subtree — executor attempts,
+        coalescer waits, per-kernel cycles — hangs off one ``request``
+        node keyed by the (possibly wire-supplied) ``trace_id``.
+        """
         if self._closed:
             raise ServiceError("service is closed")
         tenant = self._tenant(tenant_name)
         started = time.perf_counter()
         try:
-            with self.admission.admit(tenant_name):
-                if (self.admission.saturation(tenant_name)
-                        >= self.overload_threshold):
-                    tenant.demote("overload")
-                lane = await self._checkout(tenant)
-                try:
-                    with telemetry.span(f"service.{op}"):
+            with tracing.request_trace(op, tenant_name,
+                                       trace_id=trace_id):
+                with self.admission.admit(tenant_name):
+                    if (self.admission.saturation(tenant_name)
+                            >= self.overload_threshold):
+                        tenant.demote("overload")
+                    lane = await self._checkout(tenant)
+                    try:
                         result = await self._run_on_ladder(
                             tenant, lane, op, call)
-                finally:
-                    self._checkin(tenant, lane)
+                    finally:
+                        self._checkin(tenant, lane)
         except Exception:
             telemetry.record_service_request(tenant_name, op, "error")
+            self._note_request(
+                tenant_name, time.perf_counter() - started, ok=False)
             raise
+        elapsed = time.perf_counter() - started
         telemetry.record_service_request(tenant_name, op, "ok")
-        telemetry.record_service_latency(
-            op, time.perf_counter() - started)
+        telemetry.record_service_latency(op, elapsed)
+        self._note_request(tenant_name, elapsed, ok=True)
         return result
 
     # -- protocol operations -------------------------------------------------
 
-    async def keygen(self, tenant: str, seed) -> int:
+    async def keygen(self, tenant: str, seed, *,
+                     trace_id: str | None = None) -> int:
         """Derive the keypair for *seed*; return the public coefficient."""
         seed_data = _seed_bytes(seed)
 
@@ -215,10 +270,11 @@ class KeyExchangeService:
             public = lane.endpoint(engine).public_key(private)
             return public.coefficient
 
-        return await self._run_op(tenant, "keygen", call)
+        return await self._run_op(tenant, "keygen", call, trace_id)
 
     async def exchange(self, tenant: str, seed, peer_public: int,
-                       *, validate: bool = True) -> int:
+                       *, validate: bool = True,
+                       trace_id: str | None = None) -> int:
         """Shared secret between *seed*'s key and *peer_public*."""
         seed_data = _seed_bytes(seed)
         if not isinstance(peer_public, int):
@@ -230,9 +286,10 @@ class KeyExchangeService:
             return lane.endpoint(engine).shared_secret(
                 private, PublicKey(peer_public), validate=validate)
 
-        return await self._run_op(tenant, "exchange", call)
+        return await self._run_op(tenant, "exchange", call, trace_id)
 
-    async def verify(self, tenant: str, public: int) -> bool:
+    async def verify(self, tenant: str, public: int, *,
+                     trace_id: str | None = None) -> bool:
         """Is *public* a valid (supersingular) public key?"""
         if not isinstance(public, int):
             raise ServiceError("public key must be an integer "
@@ -246,7 +303,7 @@ class KeyExchangeService:
                 self.params, lane.context(engine),
                 public % self.params.p, rng)
 
-        return await self._run_op(tenant, "verify", call)
+        return await self._run_op(tenant, "verify", call, trace_id)
 
     # -- coalesced field operations ------------------------------------------
 
@@ -271,7 +328,8 @@ class KeyExchangeService:
         return execute
 
     async def field_op(self, tenant: str, op: str,
-                       operands: Sequence[int]) -> int:
+                       operands: Sequence[int], *,
+                       trace_id: str | None = None) -> int:
         """One modular field operation, batched across sessions."""
         if self._closed:
             raise ServiceError("service is closed")
@@ -288,18 +346,23 @@ class KeyExchangeService:
         tenant_obj = self._tenant(tenant)
         started = time.perf_counter()
         try:
-            with self.admission.admit(tenant):
-                if (self.admission.saturation(tenant)
-                        >= self.overload_threshold):
-                    tenant_obj.demote("overload")
-                result = await self._coalescers[
-                    tenant_obj.config.name].submit(op, operands)
+            with tracing.request_trace("field_op", tenant,
+                                       trace_id=trace_id):
+                with self.admission.admit(tenant):
+                    if (self.admission.saturation(tenant)
+                            >= self.overload_threshold):
+                        tenant_obj.demote("overload")
+                    result = await self._coalescers[
+                        tenant_obj.config.name].submit(op, operands)
         except Exception:
             telemetry.record_service_request(tenant, "field_op", "error")
+            self._note_request(
+                tenant, time.perf_counter() - started, ok=False)
             raise
+        elapsed = time.perf_counter() - started
         telemetry.record_service_request(tenant, "field_op", "ok")
-        telemetry.record_service_latency(
-            "field_op", time.perf_counter() - started)
+        telemetry.record_service_latency("field_op", elapsed)
+        self._note_request(tenant, elapsed, ok=True)
         return result
 
     # -- introspection / lifecycle -------------------------------------------
@@ -320,6 +383,9 @@ class KeyExchangeService:
                 "lanes": tenant.config.lanes,
                 "capacity": tenant.config.capacity,
                 "inflight": self.admission.inflight(name),
+                "requests": self._requests.get(name, 0),
+                "errors": self._errors.get(name, 0),
+                "rejections": self.admission.rejected(name),
                 "demotions": tenant.demotions,
                 "promotions": tenant.promotions,
                 "fault_detections": detections,
@@ -330,10 +396,28 @@ class KeyExchangeService:
                    "items": c.items_flushed}
             for name, c in self._coalescers.items()
         }
+        window = sorted(self._latencies)
+
+        def pct(q: float) -> float:
+            if not window:
+                return 0.0
+            rank = max(1, math.ceil(q * len(window)))
+            return window[min(rank, len(window)) - 1]
+
         return {
             "modulus_bits": self.params.p.bit_length(),
+            "uptime_s": time.monotonic() - self._started_monotonic,
             "tenants": tenants,
             "total_inflight": self.admission.total_inflight(),
+            "requests_total": sum(self._requests.values()),
+            "errors_total": sum(self._errors.values()),
+            "rejections_total": self.admission.total_rejected(),
+            "latency_ms": {
+                "p50": pct(0.50) * 1e3,
+                "p95": pct(0.95) * 1e3,
+                "p99": pct(0.99) * 1e3,
+                "window": len(window),
+            },
             "coalesced": coalesced,
         }
 

@@ -160,6 +160,15 @@ class Lane:
                          for c in self._contexts.values())
         return detections, recoveries
 
+    def simulated_cycles(self) -> int:
+        """Total simulated cycles executed on this lane's contexts.
+
+        The independent side of the cycle-conservation invariant:
+        under tracing, the sum over every lane must equal the span
+        forest's total (``run_load(trace=True)`` asserts it).
+        """
+        return sum(c.simulated_cycles for c in self._contexts.values())
+
     def close(self) -> None:
         """Release the lane's scoped runners back to nothing."""
         self._contexts.clear()

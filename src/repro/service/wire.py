@@ -19,7 +19,14 @@ Responses may arrive out of order (requests run concurrently); the
 
 Ops: ``keygen`` (seed), ``exchange`` (seed, peer, validate?),
 ``verify`` (public), ``field_op`` (field_op, operands), ``stats``,
-``ping``.
+``ping``, ``trace_export`` (spans?, reset?, op?, tenant?, trace?).
+
+**Request tracing.**  Every traced op (:data:`tracing.TRACED_OPS`)
+carries a ``trace`` field: the client generates one if the caller did
+not supply it, the server threads it through the service as the
+request's trace context, and the response echoes it — so a caller can
+correlate its wire latency with the server-side span subtree fetched
+via ``trace_export`` (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -28,11 +35,17 @@ import asyncio
 import itertools
 import json
 
+from repro import telemetry
 from repro.errors import ReproError, ServiceError
 from repro.service.server import KeyExchangeService
+from repro.telemetry import tracing
 
 #: Line length guard: a request is a few integers, never megabytes.
 MAX_LINE_BYTES = 1 << 16
+
+#: Client-side read limit: a ``trace_export`` response line carries
+#: whole span forests, which are much bigger than any request.
+MAX_RESPONSE_BYTES = 1 << 24
 
 
 def _error_class(code: str) -> type[ReproError]:
@@ -47,26 +60,40 @@ def _error_class(code: str) -> type[ReproError]:
     return ServiceError
 
 
-async def _dispatch(service: KeyExchangeService, request: dict):
+async def _dispatch(service: KeyExchangeService, request: dict,
+                    trace_id: str | None):
     op = request.get("op")
     tenant = request.get("tenant", "")
     if op == "ping":
         return "pong"
     if op == "stats":
         return service.stats()
+    if op == "trace_export":
+        document = tracing.snapshot_document(
+            telemetry.TRACER,
+            spans=bool(request.get("spans", True)),
+            op=request.get("filter_op"),
+            tenant=request.get("filter_tenant") or None,
+            trace_id=request.get("filter_trace"))
+        if request.get("reset"):
+            tracing.clear_traces(telemetry.TRACER)
+        return document
     if op == "keygen":
-        return await service.keygen(tenant, request.get("seed", 0))
+        return await service.keygen(tenant, request.get("seed", 0),
+                                    trace_id=trace_id)
     if op == "exchange":
         return await service.exchange(
             tenant, request.get("seed", 0),
             request.get("peer"),
-            validate=bool(request.get("validate", True)))
+            validate=bool(request.get("validate", True)),
+            trace_id=trace_id)
     if op == "verify":
-        return await service.verify(tenant, request.get("public"))
+        return await service.verify(tenant, request.get("public"),
+                                    trace_id=trace_id)
     if op == "field_op":
         return await service.field_op(
             tenant, request.get("field_op", ""),
-            request.get("operands", ()))
+            request.get("operands", ()), trace_id=trace_id)
     raise ServiceError(f"unknown op {op!r}")
 
 
@@ -85,14 +112,22 @@ async def handle_connection(service: KeyExchangeService,
 
     async def serve_one(request: dict) -> None:
         request_id = request.get("id")
+        trace_id = request.get("trace")
+        if trace_id is None and request.get("op") in tracing.TRACED_OPS:
+            # Server-generated: every traced request has an id even
+            # when the client doesn't care, so server-side traces are
+            # always addressable.
+            trace_id = tracing.new_trace_id()
+        trace_field = {} if trace_id is None else {"trace": trace_id}
         try:
-            result = await _dispatch(service, request)
+            result = await _dispatch(service, request, trace_id)
         except ReproError as exc:
             await respond({"id": request_id, "ok": False,
-                           "code": exc.code, "error": str(exc)})
+                           "code": exc.code, "error": str(exc),
+                           **trace_field})
         else:
             await respond({"id": request_id, "ok": True,
-                           "result": result})
+                           "result": result, **trace_field})
 
     try:
         while True:
@@ -152,7 +187,7 @@ class ServiceClient:
 
     async def connect(self, host: str, port: int) -> "ServiceClient":
         self._reader, self._writer = await asyncio.open_connection(
-            host, port, limit=MAX_LINE_BYTES)
+            host, port, limit=MAX_RESPONSE_BYTES)
         self._pump = asyncio.ensure_future(self._read_loop())
         return self
 
@@ -168,7 +203,10 @@ class ServiceClient:
                 if waiter is None or waiter.done():
                     continue
                 if response.get("ok"):
-                    waiter.set_result(response.get("result"))
+                    # Resolve with the whole response: request()
+                    # unwraps the result, request_traced() also wants
+                    # the echoed trace id.
+                    waiter.set_result(response)
                 else:
                     error_cls = _error_class(
                         response.get("code", "service"))
@@ -183,9 +221,11 @@ class ServiceClient:
                         ServiceError("connection closed"))
             self._waiters.clear()
 
-    async def request(self, op: str, **fields):
+    async def _request_response(self, op: str, fields: dict) -> dict:
         if self._writer is None:
             raise ServiceError("client is not connected")
+        if op in tracing.TRACED_OPS and "trace" not in fields:
+            fields = {**fields, "trace": tracing.new_trace_id()}
         request_id = next(self._ids)
         future = asyncio.get_running_loop().create_future()
         self._waiters[request_id] = future
@@ -193,6 +233,20 @@ class ServiceClient:
         self._writer.write(json.dumps(payload).encode() + b"\n")
         await self._writer.drain()
         return await future
+
+    async def request(self, op: str, **fields):
+        response = await self._request_response(op, fields)
+        return response.get("result")
+
+    async def request_traced(self, op: str, **fields):
+        """Like :meth:`request` but returns ``(result, trace_id)``.
+
+        The trace id is the server's echo — generated client-side when
+        the caller supplied none — and addresses the request's span
+        subtree in a later ``trace_export``.
+        """
+        response = await self._request_response(op, fields)
+        return response.get("result"), response.get("trace")
 
     # Convenience verbs mirroring KeyExchangeService's API.
 
@@ -216,6 +270,21 @@ class ServiceClient:
 
     async def ping(self) -> str:
         return await self.request("ping")
+
+    async def trace_export(self, *, spans: bool = True,
+                           reset: bool = False,
+                           op: str | None = None,
+                           tenant: str | None = None,
+                           trace: str | None = None) -> dict:
+        """Fetch the server's recorded traces (a snapshot document)."""
+        fields: dict = {"spans": spans, "reset": reset}
+        if op is not None:
+            fields["filter_op"] = op
+        if tenant is not None:
+            fields["filter_tenant"] = tenant
+        if trace is not None:
+            fields["filter_trace"] = trace
+        return await self.request("trace_export", **fields)
 
     async def aclose(self) -> None:
         if self._pump is not None:

@@ -40,10 +40,11 @@ from repro.telemetry.spans import SpanNode, Tracer, render_span_tree
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "SpanNode", "Tracer", "TelemetryError",
+    "SpanNode", "Tracer", "TelemetryError", "TraceContext",
     "TRACER", "REGISTRY",
     "enabled", "enable", "disable", "reset", "capture", "span",
     "add_cycles", "render_span_tree",
+    "new_trace_id", "current_trace", "request_trace", "activate",
     "record_kernel_run", "record_kernel_check_failure",
     "record_kernel_batch",
     "record_pool_access", "record_machine_run",
@@ -151,7 +152,7 @@ def record_kernel_run(
     """One :class:`~repro.kernels.runner.KernelRunner` execution."""
     if not TRACER.enabled:
         return
-    TRACER.add_cycles(cycles)
+    TRACER.add_kernel_cycles(kernel, engine, cycles)
     REGISTRY.counter(
         "kernel_runs_total", "kernel executions by engine"
     ).inc(kernel=kernel, engine=engine)
@@ -432,3 +433,16 @@ def record_coalesced_batch(op: str, n: int) -> None:
         "service_coalesced_items_total",
         "requests served through coalesced batches",
     ).inc(n, op=op)
+
+
+# -- per-request trace contexts (see repro.telemetry.tracing) ----------------
+# Imported last: tracing reads this module's globals at call time, so
+# the import must not run before TRACER/REGISTRY exist.
+
+from repro.telemetry.tracing import (  # noqa: E402
+    TraceContext,
+    activate,
+    current_trace,
+    new_trace_id,
+    request_trace,
+)

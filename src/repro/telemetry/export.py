@@ -40,7 +40,7 @@ SCHEMA_VERSION = 1
 
 def span_to_dict(node: SpanNode) -> dict[str, Any]:
     """JSON-friendly recursive dump of one span subtree."""
-    return {
+    data = {
         "name": node.name,
         "labels": {k: v for k, v in node.labels},
         "count": node.count,
@@ -51,6 +51,9 @@ def span_to_dict(node: SpanNode) -> dict[str, Any]:
             span_to_dict(child) for child in node.children.values()
         ],
     }
+    if node.start_epoch is not None:
+        data["start_epoch"] = node.start_epoch
+    return data
 
 
 def span_from_dict(data: dict[str, Any]) -> SpanNode:
@@ -63,6 +66,7 @@ def span_from_dict(data: dict[str, Any]) -> SpanNode:
     node.count = data.get("count", 0)
     node.self_cycles = data.get("self_cycles", 0)
     node.wall_s = data.get("wall_s", 0.0)
+    node.start_epoch = data.get("start_epoch")
     for child_data in data.get("children", ()):
         child = span_from_dict(child_data)
         node.children[(child.name, child.labels)] = child
@@ -140,6 +144,8 @@ def write_jsonl(
                 "self_cycles": node.self_cycles,
                 "wall_s": node.wall_s,
             }
+            if node.start_epoch is not None:
+                event["start_epoch"] = node.start_epoch
             handle.write(json.dumps(event) + "\n")
         if registry is not None:
             for sample in registry.samples():
@@ -184,6 +190,7 @@ def read_jsonl(path: str) -> SpanNode:
             node.count = event.get("count", 0)
             node.self_cycles = event.get("self_cycles", 0)
             node.wall_s = event.get("wall_s", 0.0)
+            node.start_epoch = event.get("start_epoch")
     if root is None:
         raise TelemetryError(f"no span events found in {path!r}")
     return root
@@ -194,10 +201,20 @@ def read_jsonl(path: str) -> SpanNode:
 # ---------------------------------------------------------------------------
 
 
+def _escape_label_value(value: object) -> str:
+    # Prometheus text exposition: inside a quoted label value,
+    # backslash, double-quote and line feed must be escaped.
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _prom_labels(labels) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in labels)
     return "{" + inner + "}"
 
 

@@ -32,16 +32,26 @@ from __future__ import annotations
 
 import threading
 import time
+from contextvars import ContextVar
 from typing import Iterator
 
 from repro.telemetry.metrics import MUTATION_LOCK, LabelKey, _label_key
+
+#: The active trace context (see :mod:`repro.telemetry.tracing`), or
+#: ``None``.  A :class:`~contextvars.ContextVar` rather than a
+#: thread-local so concurrent asyncio tasks on one event-loop thread
+#: each see their own request; worker threads inherit it only through
+#: an explicit ``tracing.activate`` (``run_in_executor`` does not copy
+#: contexts).
+ACTIVE_TRACE: ContextVar[object | None] = ContextVar(
+    "repro_active_trace", default=None)
 
 
 class SpanNode:
     """One node of the aggregated span tree."""
 
     __slots__ = ("name", "labels", "count", "self_cycles", "wall_s",
-                 "children")
+                 "start_epoch", "children")
 
     def __init__(self, name: str, labels: LabelKey = ()) -> None:
         self.name = name
@@ -49,6 +59,9 @@ class SpanNode:
         self.count = 0
         self.self_cycles = 0
         self.wall_s = 0.0  # inclusive (children included)
+        # wall-clock anchor: epoch seconds of the *first* entry, so
+        # exported traces from different processes/hosts are alignable
+        self.start_epoch: float | None = None
         self.children: dict[tuple[str, LabelKey], SpanNode] = {}
 
     # -- derived views -------------------------------------------------------
@@ -99,6 +112,7 @@ class SpanNode:
                 and self.count == other.count
                 and self.self_cycles == other.self_cycles
                 and self.wall_s == other.wall_s
+                and self.start_epoch == other.start_epoch
                 and self.children == other.children)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -132,7 +146,10 @@ class _ActiveSpan:
         self._node = node
 
     def __enter__(self) -> SpanNode:
-        self._tracer._stack.append(self._node)
+        node = self._node
+        if node.start_epoch is None:
+            node.start_epoch = time.time()
+        self._tracer._stack.append(node)
         self._start = time.perf_counter()
         return self._node
 
@@ -145,6 +162,33 @@ class _ActiveSpan:
         stack = self._tracer._stack
         # tolerate exception-driven unwinding out of nested spans
         while stack and stack.pop() is not node:
+            pass
+        return False
+
+
+class _AdoptedSpan:
+    """Context manager pushing an *existing* node onto this thread's
+    stack without touching its wall/count accounting.
+
+    Used by :func:`repro.telemetry.tracing.activate` to continue a
+    request's span subtree on an executor thread: the request node's
+    wall clock belongs to the event loop that opened it, so adoption
+    must not double-book it.
+    """
+
+    __slots__ = ("_tracer", "_node")
+
+    def __init__(self, tracer: "Tracer", node: SpanNode) -> None:
+        self._tracer = tracer
+        self._node = node
+
+    def __enter__(self) -> SpanNode:
+        self._tracer._stack.append(self._node)
+        return self._node
+
+    def __exit__(self, *exc_info: object) -> bool:
+        stack = self._tracer._stack
+        while len(stack) > 1 and stack.pop() is not self._node:
             pass
         return False
 
@@ -169,6 +213,10 @@ class Tracer:
         self.enabled = False
         self.root = SpanNode("root")
         self._tls = threading.local()
+        # trace_id -> TraceContext / batch_id -> TraceContext indexes,
+        # maintained by repro.telemetry.tracing (bounded there)
+        self.traces: dict[str, object] = {}
+        self.batches: dict[str, object] = {}
 
     @property
     def _stack(self) -> list[SpanNode]:
@@ -197,6 +245,41 @@ class Tracer:
             with MUTATION_LOCK:
                 self._stack[-1].self_cycles += cycles
 
+    def add_kernel_cycles(self, kernel: str, engine: str,
+                          cycles: int) -> None:
+        """Attribute one kernel run's *cycles* to the innermost span.
+
+        Outside a trace this is exactly :meth:`add_cycles` (the PR 2
+        aggregate behaviour, so ``repro profile`` trees are unchanged).
+        Under an active trace context the cycles instead land in a
+        ``kernel[engine=...,kernel=...]`` child of the innermost span,
+        so a request's subtree decomposes to per-kernel cycle totals
+        while the conservation invariant (every cycle in exactly one
+        ``self_cycles``) still holds.
+        """
+        if not self.enabled:
+            return
+        with MUTATION_LOCK:
+            top = self._stack[-1]
+            if ACTIVE_TRACE.get() is None:
+                top.self_cycles += cycles
+                return
+            node = top.child(
+                "kernel", (("engine", engine), ("kernel", kernel)))
+            if node.start_epoch is None:
+                node.start_epoch = time.time()
+            node.count += 1
+            node.self_cycles += cycles
+
+    def adopt(self, node: SpanNode) -> _AdoptedSpan:
+        """Continue an existing *node* as this thread's innermost span.
+
+        Unlike :meth:`span` this neither creates a child nor books
+        wall/count on exit — it only re-roots the calling thread's
+        stack so nested spans and kernel cycles attach under *node*.
+        """
+        return _AdoptedSpan(self, node)
+
     def current(self) -> SpanNode:
         return self._stack[-1]
 
@@ -204,6 +287,8 @@ class Tracer:
         """Drop the recorded tree (keeps the enabled flag)."""
         self.root = SpanNode("root")
         self._tls = threading.local()
+        self.traces = {}
+        self.batches = {}
 
 
 def render_span_tree(

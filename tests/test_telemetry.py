@@ -505,3 +505,72 @@ class TestRunnerPoolTelemetry:
         assert reg.counter("runner_pool_misses_total").total() == 2
         assert reg.counter("runner_pool_hits_total").total() == 1
         assert reg.gauge("runner_pool_size").value() == 2
+
+
+# ---------------------------------------------------------------------------
+# Prometheus label escaping + wall-clock span anchors (PR 7 satellites)
+# ---------------------------------------------------------------------------
+
+
+class TestPrometheusEscaping:
+    def test_hostile_label_values_escaped(self):
+        reg = MetricsRegistry()
+        hostile = 'back\\slash "quoted"\nnewline'
+        reg.counter("hostile_total").inc(3, kernel=hostile)
+        text = to_prometheus(reg)
+        line = next(l for l in text.splitlines()
+                    if l.startswith("hostile_total"))
+        # The exposition stays one physical line: the raw newline must
+        # have been escaped, not emitted.
+        assert "\n" not in line
+        assert ('kernel="back\\\\slash \\"quoted\\"\\nnewline"'
+                in line)
+        assert line.endswith(" 3")
+
+    def test_benign_labels_unchanged(self):
+        reg = MetricsRegistry()
+        reg.counter("runs_total").inc(kernel="fp_mul.reduced.ise")
+        assert ('runs_total{kernel="fp_mul.reduced.ise"} 1'
+                in to_prometheus(reg))
+
+
+class TestStartEpochAnchor:
+    def test_span_entry_stamps_epoch_once(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        with tracer.span("outer"):
+            pass
+        node = tracer.root.find("outer")
+        first = node.start_epoch
+        assert first is not None and first > 0
+        with tracer.span("outer"):
+            pass
+        # Re-entering the same aggregate keeps the *first* wall-clock
+        # anchor: the Chrome exporter wants stable placement.
+        assert node.start_epoch == first
+
+    def test_jsonl_round_trip_preserves_epoch(self, tmp_path):
+        tracer = _sample_tree()
+        tracer.root.find("group_action").start_epoch = 1700000000.25
+        path = tmp_path / "epoch.jsonl"
+        write_jsonl(str(path), tracer.root)
+        rebuilt = read_jsonl(str(path))
+        assert rebuilt == tracer.root
+        assert (rebuilt.find("group_action").start_epoch
+                == 1700000000.25)
+
+    def test_dict_round_trip_preserves_epoch_and_absence(self):
+        tracer = _sample_tree()
+        tracer.root.find("group_action").start_epoch = 123.5
+        rebuilt = span_from_dict(span_to_dict(tracer.root))
+        assert rebuilt == tracer.root
+        assert rebuilt.find("group_action").start_epoch == 123.5
+        # Nodes never entered as wall spans stay unanchored.
+        assert rebuilt.start_epoch is None
+
+    def test_epoch_distinguishes_otherwise_equal_trees(self):
+        a = _sample_tree().root
+        b = _sample_tree().root
+        a.find("group_action").start_epoch = 1.0
+        b.find("group_action").start_epoch = 2.0
+        assert a != b
