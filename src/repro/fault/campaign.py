@@ -199,11 +199,13 @@ def _run_trial(
     )
 
 
-def run_campaign(
+def run_trial_range(
     p: int,
     *,
     seed: int,
     n: int,
+    start: int = 0,
+    end: int | None = None,
     variant: str = "reduced.ise",
     sites: tuple[str, ...] = ALL_SITES,
     operations: tuple[str, ...] = FAULT_OPERATIONS,
@@ -211,23 +213,38 @@ def run_campaign(
     max_recovery_attempts: int = DEFAULT_RECOVERY_ATTEMPTS,
     pipeline_config: PipelineConfig = ROCKET_CONFIG,
     engine: str | None = None,
-) -> CampaignReport:
-    """Inject *n* planned faults into checked contexts over F_p.
+) -> tuple[list[TrialResult], dict]:
+    """Run trials ``[start, end)`` of the *n*-trial plan for *seed*.
 
-    *engine* selects the execution tier the checked contexts run on
-    (``None`` keeps the context default, replay); ``engine="jit"``
-    campaigns prove that replay-cache corruption reaches a live
-    compiled jit function and that recovery evicts it."""
+    Each trial starts from a **cold runner pool**, making it a pure
+    function of its planned site and operands — trial ``i`` behaves
+    identically whether executed in one process or as part of any
+    contiguous sub-range on any worker.  That property is what lets
+    fault campaigns shard across processes and concatenate exactly
+    (``tests/shard/test_campaign_shard.py``); the operand stream is
+    fast-forwarded over the skipped trials (two draws each), so a
+    range sees the very operands the full run would have used.
+
+    Returns the trial list plus the fault-layer metric families
+    captured over just this range (summable across disjoint ranges).
+    """
     plan = FaultPlan(seed=seed, sites=sites, operations=operations)
     planned = plan.generate(n)
+    end = n if end is None else end
+    if not 0 <= start <= end <= n:
+        raise ValueError(
+            f"trial range [{start}, {end}) outside campaign [0, {n})")
     operands = plan.operand_rng()
-    # start from a cold runner pool so trial behaviour (and the
-    # eviction/rebuild telemetry) is independent of prior process state
-    registry.clear_runner_pool()
+    for _skipped in range(2 * start):
+        operands.randrange(p)
 
     trials = []
     with telemetry.capture(fresh=True) as cap:
-        for site in planned:
+        for site in planned[start:end]:
+            # cold pool per trial: runner clocks, machine state and
+            # replay caches never leak between trials, so outcomes are
+            # position-independent (the sharding invariant)
+            registry.clear_runner_pool()
             context = SimulatedFieldContext(
                 p, variant=variant, pipeline_config=pipeline_config,
                 checked=True, check_interval=check_interval,
@@ -250,6 +267,40 @@ def run_campaign(
             for name, samples in cap.registry.to_dict().items()
             if name in _REPORT_METRICS
         }
+    return trials, metrics
+
+
+def run_campaign(
+    p: int,
+    *,
+    seed: int,
+    n: int,
+    variant: str = "reduced.ise",
+    sites: tuple[str, ...] = ALL_SITES,
+    operations: tuple[str, ...] = FAULT_OPERATIONS,
+    check_interval: int = 1,
+    max_recovery_attempts: int = DEFAULT_RECOVERY_ATTEMPTS,
+    pipeline_config: PipelineConfig = ROCKET_CONFIG,
+    engine: str | None = None,
+) -> CampaignReport:
+    """Inject *n* planned faults into checked contexts over F_p.
+
+    *engine* selects the execution tier the checked contexts run on
+    (``None`` keeps the context default, replay); ``engine="jit"``
+    campaigns prove that replay-cache corruption reaches a live
+    compiled jit function and that recovery evicts it."""
+    trials, metrics = run_trial_range(
+        p,
+        seed=seed,
+        n=n,
+        variant=variant,
+        sites=sites,
+        operations=operations,
+        check_interval=check_interval,
+        max_recovery_attempts=max_recovery_attempts,
+        pipeline_config=pipeline_config,
+        engine=engine,
+    )
 
     return CampaignReport(
         seed=seed,

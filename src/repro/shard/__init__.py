@@ -1,0 +1,69 @@
+"""Sharded multi-process execution of group actions and campaigns.
+
+The subsystem that makes the full CSIDH-512 dynamic run feasible:
+record the action's primitive-op stream cheaply in pure Python, cut it
+into shards, simulate the shards on worker processes in parallel, and
+merge per-shard cycle sums back onto the recorded span skeleton —
+bit-for-bit and cycle-exact against the monolithic run (see
+``docs/SHARDING.md`` for the model and the determinism argument).
+
+Public surface::
+
+    build_plan / save_plan / load_plan      # repro.shard.plan
+    ShardExecutor / ShardRunStats           # repro.shard.scheduler
+    run_sharded_action / merge_records      # repro.shard.merge
+    read_checkpoint / span_cycle_mismatches # repro.shard.merge
+    build_campaign_plan / run_sharded_campaign  # repro.shard.campaign
+"""
+
+from repro.shard.campaign import (
+    CampaignShardPlan,
+    CampaignShardRunner,
+    build_campaign_plan,
+    merge_campaign_records,
+    run_sharded_campaign,
+)
+from repro.shard.merge import (
+    MergedRun,
+    merge_records,
+    read_checkpoint,
+    run_sharded_action,
+    span_cycle_mismatches,
+)
+from repro.shard.plan import (
+    ShardPlan,
+    build_plan,
+    compute_boundaries,
+    load_plan,
+    plan_from_dict,
+    record_action_stream,
+    regenerate_stream,
+    save_plan,
+)
+from repro.shard.scheduler import ShardExecutor, ShardRunStats
+from repro.shard.worker import KILLED_EXIT, ShardRunner
+
+__all__ = [
+    "CampaignShardPlan",
+    "CampaignShardRunner",
+    "KILLED_EXIT",
+    "MergedRun",
+    "ShardExecutor",
+    "ShardPlan",
+    "ShardRunStats",
+    "ShardRunner",
+    "build_campaign_plan",
+    "build_plan",
+    "compute_boundaries",
+    "load_plan",
+    "merge_campaign_records",
+    "merge_records",
+    "plan_from_dict",
+    "read_checkpoint",
+    "record_action_stream",
+    "regenerate_stream",
+    "run_sharded_action",
+    "run_sharded_campaign",
+    "save_plan",
+    "span_cycle_mismatches",
+]

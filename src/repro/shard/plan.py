@@ -1,0 +1,441 @@
+"""Shard plans: decompose one group action into independent op ranges.
+
+The group action is inherently sequential — every isogeny consumes the
+curve the previous one produced — but its *cost* is not: all of the
+simulated cycles are spent inside the four primitive field operations
+(``mul``/``sqr``/``add``/``sub``), each a pure function of its reduced
+operands.  The planner exploits that split:
+
+1. **Record** (fast): run the group action once on a pure-Python
+   :class:`RecordingFieldContext` under telemetry capture.  Every
+   derived operation (inversion, Legendre, ladder steps) decomposes
+   into the counted primitives in :class:`~repro.field.fp.FieldContext`
+   itself, so the recording is the exact primitive-op stream the
+   simulated run would execute — operands, order and all — tagged with
+   the open span path at each op.  A CSIDH-512 action is ~1 M
+   primitive ops and runs in about a second of pure Python; the ~5·10⁸
+   simulated instructions it *implies* are what gets sharded.
+2. **Shard**: cut the stream into contiguous ranges, snapping cut
+   points to span-path changes (isogeny/kernel boundaries) so shards
+   align with protocol phases where possible.
+3. **Execute** (parallel, elsewhere): each worker re-records the
+   stream from the seed (verifying the digest), simulates only its
+   range, checks every value against the pure-Python expectation, and
+   sums cycles per span path.
+4. **Merge**: graft the per-span cycle sums onto the plan's captured
+   span skeleton.  Because each op's kernel runs are a pure function
+   of its operands and the engines are cycle-identical, the merged
+   tree is bit-for-bit the monolithic profile's tree
+   (``tests/shard/`` asserts this on toy and mini).
+
+A plan file holds everything *except* the op stream (which every
+worker regenerates locally from the seed — cheaper than shipping
+hundreds of MB through queues): parameters, seed, exponents, expected
+coefficient, shard boundaries, per-shard seeds, the span-path table,
+the span skeleton and the stream digest.  See ``docs/SHARDING.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+from array import array
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.csidh.group_action import ActionStats, group_action
+from repro.csidh.parameters import (
+    CsidhParameters,
+    csidh_512,
+    csidh_mini,
+    csidh_toy,
+)
+from repro.errors import ShardError
+from repro.field.fp import FieldContext
+from repro.telemetry.export import SCHEMA_VERSION, span_to_dict
+
+#: Parameter-set factories by CLI key (mirrors ``repro --params``).
+PARAM_FACTORIES = {
+    "csidh-512": csidh_512,
+    "mini": csidh_mini,
+    "toy": csidh_toy,
+}
+
+#: Primitive-op kinds in stream encoding order.
+OP_KINDS = ("mul", "sqr", "add", "sub")
+OP_MUL, OP_SQR, OP_ADD, OP_SUB = range(4)
+
+
+class OpStream:
+    """Compact append-only log of primitive field operations.
+
+    Operands are packed little-endian at the modulus' byte width and
+    span paths are interned to small ids, so a CSIDH-512 recording
+    (~1 M ops) stays around 130 MB instead of the multi-hundred-MB a
+    list of tuples would cost.
+    """
+
+    def __init__(self, p: int) -> None:
+        self.p = p
+        self._width = (p.bit_length() + 7) // 8
+        self._kinds = bytearray()
+        self._span_ids = array("i")
+        self._operands = bytearray()
+        self.paths: list[tuple] = []
+        self._path_ids: dict[tuple, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    def append(self, kind: int, a: int, b: int, path: tuple) -> None:
+        path_id = self._path_ids.get(path)
+        if path_id is None:
+            path_id = self._path_ids[path] = len(self.paths)
+            self.paths.append(path)
+        self._kinds.append(kind)
+        self._span_ids.append(path_id)
+        width = self._width
+        self._operands += a.to_bytes(width, "little")
+        self._operands += b.to_bytes(width, "little")
+
+    def op(self, index: int) -> tuple[int, int, int, int]:
+        """``(kind, a, b, span_id)`` of op *index*."""
+        width = self._width
+        offset = 2 * width * index
+        a = int.from_bytes(
+            self._operands[offset:offset + width], "little")
+        b = int.from_bytes(
+            self._operands[offset + width:offset + 2 * width], "little")
+        return self._kinds[index], a, b, self._span_ids[index]
+
+    def op_counts(self) -> dict[str, int]:
+        counts = dict.fromkeys(OP_KINDS, 0)
+        for kind in self._kinds:
+            counts[OP_KINDS[kind]] += 1
+        return counts
+
+    def change_points(self) -> list[int]:
+        """Indices where the span path changes (natural cut points)."""
+        span_ids = self._span_ids
+        return [i for i in range(1, len(span_ids))
+                if span_ids[i] != span_ids[i - 1]]
+
+    def digest(self) -> str:
+        """SHA-256 over kinds, span ids, operands and the path table.
+
+        Workers regenerate the stream from the plan seed and refuse to
+        execute when their digest disagrees — the guard that makes
+        "every process re-derives its own input" safe.
+        """
+        h = hashlib.sha256()
+        h.update(str(self.p).encode())
+        h.update(bytes(self._kinds))
+        h.update(self._span_ids.tobytes())
+        h.update(bytes(self._operands))
+        h.update(json.dumps(
+            [_path_to_json(path) for path in self.paths]).encode())
+        return h.hexdigest()
+
+
+class RecordingFieldContext(FieldContext):
+    """Pure-Python field context that logs every counted primitive.
+
+    Operands are normalised into ``[0, p)`` *before* recording — the
+    same normalisation :class:`~repro.field.simulated
+    .SimulatedFieldContext` applies before its kernel runs — so the
+    recorded stream is exactly what a simulated run executes.
+    """
+
+    def __init__(self, p: int, stream: OpStream) -> None:
+        super().__init__(p)
+        self._stream = stream
+
+    def mul(self, a: int, b: int) -> int:
+        a %= self.p
+        b %= self.p
+        self._stream.append(OP_MUL, a, b, telemetry.current_span_path())
+        return super().mul(a, b)
+
+    def sqr(self, a: int) -> int:
+        a %= self.p
+        self._stream.append(OP_SQR, a, 0, telemetry.current_span_path())
+        return super().sqr(a)
+
+    def add(self, a: int, b: int) -> int:
+        a %= self.p
+        b %= self.p
+        self._stream.append(OP_ADD, a, b, telemetry.current_span_path())
+        return super().add(a, b)
+
+    def sub(self, a: int, b: int) -> int:
+        a %= self.p
+        b %= self.p
+        self._stream.append(OP_SUB, a, b, telemetry.current_span_path())
+        return super().sub(a, b)
+
+
+def record_action_stream(
+    params: CsidhParameters,
+    *,
+    seed: int,
+    exponents: tuple[int, ...] | None = None,
+):
+    """One pure-Python recording pass of the profiled group action.
+
+    Mirrors :func:`repro.telemetry.profile.profile_group_action`'s rng
+    discipline exactly (same seed → same exponents → same sample
+    points), so the recorded stream is op-for-op the stream the
+    monolithic profile executes.  Returns ``(stream, coefficient,
+    exponents, stats, capture_root)``.
+    """
+    rng = random.Random(seed)
+    if exponents is None:
+        exponents = params.sample_private_key(rng)
+    stream = OpStream(params.p)
+    field = RecordingFieldContext(params.p, stream)
+    stats = ActionStats()
+    with telemetry.capture() as cap:
+        coefficient = group_action(
+            params, field, 0, exponents, rng, stats=stats)
+    return stream, coefficient, tuple(exponents), stats, cap.root
+
+
+def compute_boundaries(
+    n_ops: int,
+    shards: int,
+    change_points: list[int],
+) -> tuple[tuple[int, int], ...]:
+    """Cut ``[0, n_ops)`` into *shards* contiguous non-empty ranges.
+
+    Each ideal cut (an even split) snaps to the nearest span-path
+    change point that keeps the cut sequence strictly increasing, so
+    shards align with isogeny/phase boundaries; when shards outnumber
+    the change points the raw even split is kept.
+    """
+    if n_ops < 1:
+        raise ShardError("cannot shard an empty op stream")
+    if shards < 1:
+        raise ShardError(f"need at least one shard, got {shards}")
+    shards = min(shards, n_ops)
+    cuts = [0]
+    for j in range(1, shards):
+        ideal = round(j * n_ops / shards)
+        low = cuts[-1] + 1
+        high = n_ops - (shards - j)  # room for remaining shards
+        best = min(max(ideal, low), high)
+        position = bisect_left(change_points, best)
+        snapped = None
+        for candidate_index in (position - 1, position):
+            if 0 <= candidate_index < len(change_points):
+                candidate = change_points[candidate_index]
+                if low <= candidate <= high and (
+                        snapped is None
+                        or abs(candidate - best) < abs(snapped - best)):
+                    snapped = candidate
+        cuts.append(best if snapped is None else snapped)
+    cuts.append(n_ops)
+    return tuple(zip(cuts[:-1], cuts[1:]))
+
+
+def derive_shard_seed(stream_digest: str, index: int) -> int:
+    """Deterministic per-shard seed: run seed → digest → shard seed.
+
+    Stamped into every checkpoint record; the merge refuses records
+    whose seed disagrees with the plan's, so checkpoints from
+    different runs can never be silently mixed.
+    """
+    material = f"{stream_digest}:{index}".encode()
+    return int.from_bytes(
+        hashlib.sha256(material).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Everything a worker or merge needs about one sharded action."""
+
+    kind = "action"
+
+    params_key: str
+    params_name: str
+    p: int
+    seed: int
+    variant: str
+    exponents: tuple[int, ...]
+    coefficient: int            # expected group-action output
+    n_ops: int
+    op_counts: dict[str, int]
+    boundaries: tuple[tuple[int, int], ...]
+    shard_seeds: tuple[int, ...]
+    stream_digest: str
+    span_paths: tuple           # path table: span_id -> (name, labels) frames
+    skeleton: dict              # span_to_dict of the recording capture root
+    isogenies: int
+    rounds: int
+    plan_wall_s: float
+
+    @property
+    def shards(self) -> int:
+        return len(self.boundaries)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "params": self.params_key,
+            "params_name": self.params_name,
+            "p": self.p,
+            "seed": self.seed,
+            "variant": self.variant,
+            "exponents": list(self.exponents),
+            "coefficient": self.coefficient,
+            "n_ops": self.n_ops,
+            "op_counts": dict(self.op_counts),
+            "boundaries": [list(pair) for pair in self.boundaries],
+            "shard_seeds": list(self.shard_seeds),
+            "stream_digest": self.stream_digest,
+            "span_paths": [_path_to_json(path)
+                           for path in self.span_paths],
+            "skeleton": self.skeleton,
+            "isogenies": self.isogenies,
+            "rounds": self.rounds,
+            "plan_wall_s": self.plan_wall_s,
+        }
+
+
+def _path_to_json(path: tuple) -> list:
+    return [[name, [list(pair) for pair in labels]]
+            for name, labels in path]
+
+
+def _path_from_json(data: list) -> tuple:
+    return tuple(
+        (name, tuple(sorted((str(k), str(v)) for k, v in labels)))
+        for name, labels in data
+    )
+
+
+def plan_from_dict(data: dict) -> ShardPlan:
+    try:
+        return ShardPlan(
+            params_key=data["params"],
+            params_name=data["params_name"],
+            p=int(data["p"]),
+            seed=int(data["seed"]),
+            variant=data["variant"],
+            exponents=tuple(data["exponents"]),
+            coefficient=int(data["coefficient"]),
+            n_ops=int(data["n_ops"]),
+            op_counts=dict(data["op_counts"]),
+            boundaries=tuple(
+                (int(start), int(end))
+                for start, end in data["boundaries"]),
+            shard_seeds=tuple(int(s) for s in data["shard_seeds"]),
+            stream_digest=data["stream_digest"],
+            span_paths=tuple(_path_from_json(path)
+                             for path in data["span_paths"]),
+            skeleton=data["skeleton"],
+            isogenies=int(data["isogenies"]),
+            rounds=int(data["rounds"]),
+            plan_wall_s=float(data["plan_wall_s"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ShardError(f"malformed shard plan: {exc}") from exc
+
+
+def build_plan(
+    params_key: str,
+    *,
+    shards: int,
+    seed: int = 3,
+    variant: str = "reduced.ise",
+) -> tuple[ShardPlan, OpStream]:
+    """Record the action for *params_key* and cut it into *shards*.
+
+    Returns the plan together with the recorded stream so in-process
+    callers (tests, benchmarks, the inline executor) can reuse it
+    without a second recording pass; worker processes regenerate the
+    stream from the plan alone.
+    """
+    factory = PARAM_FACTORIES.get(params_key)
+    if factory is None:
+        raise ShardError(
+            f"unknown parameter set {params_key!r}; choose from "
+            + ", ".join(sorted(PARAM_FACTORIES)))
+    if shards < 1:
+        raise ShardError(f"--shards must be at least 1 (got {shards})")
+    params = factory()
+    start = time.perf_counter()
+    stream, coefficient, exponents, stats, root = \
+        record_action_stream(params, seed=seed)
+    boundaries = compute_boundaries(
+        len(stream), shards, stream.change_points())
+    digest = stream.digest()
+    plan = ShardPlan(
+        params_key=params_key,
+        params_name=params.name,
+        p=params.p,
+        seed=seed,
+        variant=variant,
+        exponents=exponents,
+        coefficient=coefficient,
+        n_ops=len(stream),
+        op_counts=stream.op_counts(),
+        boundaries=boundaries,
+        shard_seeds=tuple(
+            derive_shard_seed(digest, index)
+            for index in range(len(boundaries))),
+        stream_digest=digest,
+        span_paths=tuple(stream.paths),
+        skeleton=span_to_dict(root),
+        isogenies=stats.isogenies,
+        rounds=stats.rounds,
+        plan_wall_s=time.perf_counter() - start,
+    )
+    return plan, stream
+
+
+def regenerate_stream(plan: ShardPlan) -> OpStream:
+    """Re-record the plan's op stream locally and verify its digest."""
+    factory = PARAM_FACTORIES.get(plan.params_key)
+    if factory is None:
+        raise ShardError(
+            f"plan names unknown parameter set {plan.params_key!r}")
+    params = factory()
+    stream, coefficient, _exponents, _stats, _root = \
+        record_action_stream(params, seed=plan.seed)
+    digest = stream.digest()
+    if digest != plan.stream_digest:
+        raise ShardError(
+            f"regenerated op stream digest {digest[:16]}... does not "
+            f"match the plan's {plan.stream_digest[:16]}...; the plan "
+            f"was built against different code or parameters")
+    if coefficient != plan.coefficient:
+        raise ShardError(
+            f"regenerated group action produced coefficient "
+            f"{coefficient}, plan expects {plan.coefficient}")
+    return stream
+
+
+def save_plan(path: str, plan: ShardPlan) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(plan.to_dict(), handle, indent=2)
+        handle.write("\n")
+
+
+def load_plan(path: str) -> ShardPlan:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ShardError(
+            f"cannot read shard plan {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise ShardError(
+            f"shard plan {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("kind") != "action":
+        raise ShardError(
+            f"{path!r} is not a shard plan file (missing kind)")
+    return plan_from_dict(data)

@@ -137,8 +137,10 @@ def profile_group_action(
     if params.p.bit_length() > MAX_SIMULATED_BITS:
         raise ReproError(
             f"{params.name}: a {params.p.bit_length()}-bit modulus is "
-            f"infeasible to profile on the Python simulator (limit "
-            f"{MAX_SIMULATED_BITS} bits); use --params toy or mini"
+            f"infeasible to profile on the Python simulator in one "
+            f"process (limit {MAX_SIMULATED_BITS} bits); use --params "
+            f"toy or mini, or shard the run across worker processes "
+            f"with --shards N (see docs/SHARDING.md)"
         )
     rng = random.Random(seed)
     if exponents is None:

@@ -55,6 +55,7 @@ DEFAULT_CYCLES_TOLERANCE = 0.0
 GROUP_KEYS = (
     "mode", "params", "variant", "engine", "exchanges",
     "concurrency", "tenants", "hardened", "rounds",
+    "workers", "shards",
 )
 
 _LOWER_BETTER = (

@@ -1,0 +1,189 @@
+"""Shard plans: recording, boundaries, serialisation, integrity.
+
+The plan is the subsystem's source of truth: everything downstream
+(workers, checkpoints, merges) trusts it, so these tests pin its
+determinism (same seed ⇒ same stream digest ⇒ same shard seeds), the
+boundary invariants any shard count must satisfy, the JSON round-trip,
+and the integrity checks that refuse a plan rebuilt against different
+code or parameters.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csidh.parameters import csidh_toy
+from repro.errors import ReproError, ShardError
+from repro.shard.plan import (
+    OP_KINDS,
+    build_plan,
+    compute_boundaries,
+    derive_shard_seed,
+    load_plan,
+    plan_from_dict,
+    record_action_stream,
+    regenerate_stream,
+    save_plan,
+)
+from repro.telemetry.profile import profile_group_action
+
+
+class TestRecording:
+    def test_stream_matches_monolithic_profile(self):
+        """The recorded op counts are the simulated run's op counts
+        and the recorded coefficient is the simulated output."""
+        params = csidh_toy()
+        stream, coefficient, _exp, stats, _root = \
+            record_action_stream(params, seed=3)
+        profile = profile_group_action(params, seed=3)
+        assert coefficient == profile.coefficient
+        assert stats.isogenies == profile.stats.isogenies
+        counts = stream.op_counts()
+        for kind in OP_KINDS:
+            assert counts[kind] == getattr(profile.ops, kind)
+
+    def test_recording_is_deterministic(self):
+        params = csidh_toy()
+        first, *_ = record_action_stream(params, seed=3)
+        second, *_ = record_action_stream(params, seed=3)
+        assert first.digest() == second.digest()
+
+    def test_different_seed_different_stream(self):
+        params = csidh_toy()
+        first, *_ = record_action_stream(params, seed=3)
+        second, *_ = record_action_stream(params, seed=4)
+        assert first.digest() != second.digest()
+
+    def test_stream_op_round_trip(self):
+        params = csidh_toy()
+        stream, *_ = record_action_stream(params, seed=3)
+        kind, a, b, span_id = stream.op(0)
+        assert kind in range(len(OP_KINDS))
+        assert 0 <= a < params.p
+        assert 0 <= b < params.p
+        assert 0 <= span_id < len(stream.paths)
+
+
+class TestBoundaries:
+    @given(n_ops=st.integers(1, 5000), shards=st.integers(1, 64),
+           data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_cut_is_a_partition(self, n_ops, shards, data):
+        """Boundaries always tile [0, n) with non-empty ranges, for
+        any op count, shard request, and change-point set."""
+        points = data.draw(st.lists(
+            st.integers(1, max(1, n_ops - 1)), unique=True,
+            max_size=50).map(sorted))
+        boundaries = compute_boundaries(n_ops, shards, points)
+        assert boundaries[0][0] == 0
+        assert boundaries[-1][1] == n_ops
+        for (a_start, a_end), (b_start, b_end) in zip(
+                boundaries, boundaries[1:]):
+            assert a_end == b_start
+        assert all(end > start for start, end in boundaries)
+        assert len(boundaries) == min(shards, n_ops)
+
+    def test_cuts_snap_to_change_points(self):
+        boundaries = compute_boundaries(100, 2, [47])
+        assert boundaries == ((0, 47), (47, 100))
+
+    def test_more_shards_than_ops_clamps(self):
+        boundaries = compute_boundaries(3, 10, [])
+        assert boundaries == ((0, 1), (1, 2), (2, 3))
+
+    def test_empty_stream_refused(self):
+        with pytest.raises(ShardError):
+            compute_boundaries(0, 4, [])
+
+    def test_bad_shard_count_refused(self):
+        with pytest.raises(ShardError):
+            compute_boundaries(10, 0, [])
+
+
+class TestPlanBuild:
+    def test_plan_covers_stream(self):
+        plan, stream = build_plan("toy", shards=5, seed=3)
+        assert plan.n_ops == len(stream)
+        assert plan.boundaries[-1][1] == plan.n_ops
+        assert plan.shards == 5
+        assert len(plan.shard_seeds) == 5
+        assert plan.op_counts == stream.op_counts()
+
+    def test_shard_seeds_derive_from_digest(self):
+        plan, _ = build_plan("toy", shards=3, seed=3)
+        for index, seed in enumerate(plan.shard_seeds):
+            assert seed == derive_shard_seed(
+                plan.stream_digest, index)
+        assert len(set(plan.shard_seeds)) == 3
+
+    def test_same_run_seed_same_plan_identity(self):
+        first, _ = build_plan("toy", shards=4, seed=3)
+        second, _ = build_plan("toy", shards=4, seed=3)
+        assert first.stream_digest == second.stream_digest
+        assert first.shard_seeds == second.shard_seeds
+        assert first.boundaries == second.boundaries
+        assert first.coefficient == second.coefficient
+
+    def test_csidh_512_plans_without_refusing(self):
+        """The acceptance criterion: full-size parameters plan fine —
+        the recording pass is pure Python, no simulation involved."""
+        plan, stream = build_plan("csidh-512", shards=64, seed=3)
+        assert plan.params_name == "CSIDH-512"
+        assert plan.n_ops == len(stream) > 100_000
+        assert plan.shards == 64
+        assert plan.isogenies > 0
+
+    def test_unknown_params_refused_with_stable_code(self):
+        with pytest.raises(ShardError) as excinfo:
+            build_plan("huge", shards=2)
+        assert excinfo.value.code == "shard"
+        assert isinstance(excinfo.value, ReproError)
+
+
+class TestSerialisation:
+    def test_save_load_round_trip(self, tmp_path):
+        plan, _ = build_plan("toy", shards=4, seed=3)
+        path = tmp_path / "plan.json"
+        save_plan(str(path), plan)
+        loaded = load_plan(str(path))
+        assert loaded == plan
+
+    def test_dict_round_trip_preserves_span_paths(self):
+        plan, _ = build_plan("toy", shards=2, seed=3)
+        again = plan_from_dict(plan.to_dict())
+        assert again.span_paths == plan.span_paths
+        assert again.skeleton == plan.skeleton
+
+    def test_missing_file_stable_code(self, tmp_path):
+        with pytest.raises(ShardError) as excinfo:
+            load_plan(str(tmp_path / "nope.json"))
+        assert excinfo.value.code == "shard"
+
+    def test_garbage_file_refused(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("not json {")
+        with pytest.raises(ShardError):
+            load_plan(str(path))
+        path.write_text('{"kind": "something-else"}')
+        with pytest.raises(ShardError):
+            load_plan(str(path))
+
+    def test_malformed_plan_dict_refused(self):
+        with pytest.raises(ShardError):
+            plan_from_dict({"params": "toy"})
+
+
+class TestRegeneration:
+    def test_regenerated_stream_verifies(self):
+        plan, stream = build_plan("toy", shards=3, seed=3)
+        again = regenerate_stream(plan)
+        assert again.digest() == stream.digest()
+
+    def test_tampered_digest_refused(self):
+        plan, _ = build_plan("toy", shards=3, seed=3)
+        data = plan.to_dict()
+        data["stream_digest"] = "0" * 64
+        with pytest.raises(ShardError, match="digest"):
+            regenerate_stream(plan_from_dict(data))

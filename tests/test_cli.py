@@ -100,6 +100,8 @@ class TestFaultsCommand:
          "unknown fault site"),
         (["faults", "--params", "csidh-512", "--n", "1"],
          "--params toy"),
+        (["faults", "--params", "csidh-512", "--n", "1"],
+         "--shards"),
     ])
     def test_bad_arguments_one_line_exit_2(self, argv, needle,
                                            capsys):
@@ -145,6 +147,7 @@ class TestBenchCommand:
         (["bench", "--params", "toy", "--rounds", "0"], "--rounds"),
         (["bench", "--params", "toy", "--batch", "-1"], "--batch"),
         (["bench", "--params", "csidh-512"], "--params toy"),
+        (["bench", "--params", "csidh-512"], "repro shard"),
     ])
     def test_bench_bad_arguments(self, argv, needle, capsys):
         assert main(argv) == 2
@@ -194,7 +197,8 @@ class TestTelemetryFlags:
         assert main(["profile", "--params", "csidh-512"]) == 2
         err = capsys.readouterr().err
         assert "infeasible" in err
-        assert "--params toy" in err  # actionable: names the fix
+        assert "--params toy" in err   # actionable: names the fix
+        assert "--shards" in err       # ... and the full-size path
         assert len(err.strip().splitlines()) == 1
 
     def test_action_telemetry_cycle_sum_invariant(self, tmp_path,
