@@ -1,0 +1,57 @@
+"""Seeded network-chaos harness for the key-exchange service.
+
+The wire-layer sibling of :mod:`repro.fault`: where fault campaigns
+flip bits inside the simulated datapath, chaos campaigns break the
+*network* between a :class:`~repro.service.ServiceClient` and a live
+wire server — dropped connections, latency spikes, partial writes,
+corrupted/duplicated/reordered frames — and prove the resilience
+stack (deadlines, retries with idempotency keys, frame checksums,
+circuit breaker) turns every one of them into either a transparent
+recovery or a clean typed error, never a wrong secret and never a
+hang.  See ``docs/ROBUSTNESS.md``.
+
+* :class:`ChaosPlan` / :class:`ChaosSite` — seeded, reproducible,
+  JSON round-trippable fault plans;
+* :class:`ChaosProxy` — the in-process TCP proxy that injects exactly
+  one fault per trial, then passes traffic through untouched;
+* :func:`run_chaos_campaign` / :class:`ChaosReport` — full handshakes
+  through the proxy, every secret checked against the pure-Python
+  oracle, outcomes classified and gated (``repro chaos``).
+"""
+
+from repro.chaos.campaign import (
+    OUTCOME_ESCAPED,
+    OUTCOME_HUNG,
+    OUTCOME_MASKED,
+    OUTCOME_RECOVERED,
+    OUTCOME_REJECTED,
+    OUTCOMES,
+    ChaosReport,
+    ChaosTrial,
+    run_chaos_campaign,
+)
+from repro.chaos.plan import (
+    ALL_KINDS,
+    LINES_PER_HANDSHAKE,
+    ChaosPlan,
+    ChaosSite,
+)
+from repro.chaos.proxy import ChaosProxy, corrupt_line
+
+__all__ = [
+    "ALL_KINDS",
+    "LINES_PER_HANDSHAKE",
+    "OUTCOMES",
+    "OUTCOME_ESCAPED",
+    "OUTCOME_HUNG",
+    "OUTCOME_MASKED",
+    "OUTCOME_RECOVERED",
+    "OUTCOME_REJECTED",
+    "ChaosPlan",
+    "ChaosProxy",
+    "ChaosReport",
+    "ChaosSite",
+    "ChaosTrial",
+    "corrupt_line",
+    "run_chaos_campaign",
+]

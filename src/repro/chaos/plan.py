@@ -1,0 +1,135 @@
+"""Seeded, reproducible network-chaos plans.
+
+The wire-layer sibling of :mod:`repro.fault.plan`: a
+:class:`ChaosPlan` expands a seed into a sequence of
+:class:`ChaosSite` records, each naming one network fault the chaos
+proxy (:mod:`repro.chaos.proxy`) will inject into exactly one
+handshake.  Sites carry *raw* selector integers (``nth``, ``byte``,
+``mask``, ``delay``, ``direction``) rather than resolved targets: the
+proxy maps them onto the concrete traffic (modulo the lines per
+handshake, the line length, the client timeout) at arm time, so the
+same seed names the same abstract faults regardless of frame sizes —
+and re-running a campaign with the seed from a failing report
+reproduces the exact fault sequence and report
+(``tests/chaos/test_chaos_plan.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ChaosError
+
+#: Close the connection *before* forwarding the Nth request line.
+KIND_DROP_PRE = "drop_pre"
+#: Forward the request, close *instead of* relaying its response —
+#: the lost-response scenario idempotency keys exist for.
+KIND_DROP_MID = "drop_mid"
+#: Relay the Nth response, then close the connection.
+KIND_DROP_POST = "drop_post"
+#: Delay the Nth response (above or below the client timeout).
+KIND_LATENCY = "latency"
+#: Write a strict prefix of the Nth response, then close.
+KIND_PARTIAL_WRITE = "partial_write"
+#: XOR one byte of the Nth line (either direction).
+KIND_CORRUPT = "corrupt"
+#: Relay the Nth response twice.
+KIND_DUPLICATE = "duplicate"
+#: Hold the Nth response until the next one has passed it.
+KIND_REORDER = "reorder"
+
+ALL_KINDS = (
+    KIND_DROP_PRE,
+    KIND_DROP_MID,
+    KIND_DROP_POST,
+    KIND_LATENCY,
+    KIND_PARTIAL_WRITE,
+    KIND_CORRUPT,
+    KIND_DUPLICATE,
+    KIND_REORDER,
+)
+
+#: Wire lines per handshake in each direction (two keygens + two
+#: exchanges) — the modulus the proxy maps ``nth`` with at arm time.
+LINES_PER_HANDSHAKE = 4
+
+
+@dataclass(frozen=True)
+class ChaosSite:
+    """One planned network fault: a kind plus raw target selectors."""
+
+    index: int      # trial number within the campaign
+    kind: str       # one of ALL_KINDS
+    nth: int        # raw line selector (mapped mod LINES_PER_HANDSHAKE)
+    byte: int       # raw byte-position selector (corrupt/partial_write)
+    mask: int       # raw XOR-mask selector (mapped to 1..255)
+    delay: int      # raw latency selector (parity: above/below timeout)
+    direction: int  # raw direction selector (corrupt: even=c2s, odd=s2c)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "nth": self.nth,
+            "byte": self.byte,
+            "mask": self.mask,
+            "delay": self.delay,
+            "direction": self.direction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSite":
+        try:
+            return cls(**{key: data[key] for key in (
+                "index", "kind", "nth", "byte", "mask", "delay",
+                "direction")})
+        except KeyError as exc:
+            raise ChaosError(
+                f"chaos site record is missing field {exc}") from None
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded generator of reproducible network-fault sequences."""
+
+    seed: int
+    kinds: tuple[str, ...] = ALL_KINDS
+
+    def __post_init__(self) -> None:
+        unknown = [k for k in self.kinds if k not in ALL_KINDS]
+        if unknown:
+            raise ChaosError(
+                f"unknown chaos kind(s) {unknown}; choose from "
+                f"{', '.join(ALL_KINDS)}")
+        if not self.kinds:
+            raise ChaosError("a chaos plan needs at least one kind")
+
+    def generate(self, n: int) -> tuple[ChaosSite, ...]:
+        """The first *n* planned faults (pure function of the seed)."""
+        if n < 1:
+            raise ChaosError(f"need at least one trial, got {n}")
+        rng = random.Random(self.seed)
+        out = []
+        for index in range(n):
+            out.append(ChaosSite(
+                index=index,
+                kind=self.kinds[rng.randrange(len(self.kinds))],
+                nth=rng.getrandbits(16),
+                byte=rng.getrandbits(16),
+                mask=rng.getrandbits(8),
+                delay=rng.getrandbits(8),
+                direction=rng.getrandbits(8),
+            ))
+        return tuple(out)
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "kinds": list(self.kinds)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosPlan":
+        try:
+            return cls(seed=data["seed"], kinds=tuple(data["kinds"]))
+        except KeyError as exc:
+            raise ChaosError(
+                f"chaos plan record is missing field {exc}") from None

@@ -345,6 +345,57 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 1 if report.escaped else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.chaos import ALL_KINDS, run_chaos_campaign
+    from repro.chaos.campaign import OUTCOMES
+    from repro.telemetry.export import write_bench
+
+    if args.n < 1:
+        raise ParameterError(
+            f"--n must be at least 1 (got {args.n}); it is the number "
+            f"of network faults to inject")
+    if args.quiet and not args.json:
+        raise ParameterError(
+            "--quiet without --json would produce no output at all; "
+            "add --json PATH or drop --quiet")
+    params = _PARAM_SETS[args.params]()
+    kinds = (tuple(k.strip() for k in args.kinds.split(","))
+             if args.kinds else ALL_KINDS)
+    report = run_chaos_campaign(
+        params, seed=args.seed, n=args.n, kinds=kinds,
+        engine=args.engine, variant=args.variant,
+        timeout_s=args.timeout_s, retries=args.retries,
+    )
+
+    if not args.quiet:
+        width = max(len(kind) for kind in report.by_kind)
+        header = f"{'kind':<{width}}  " + "  ".join(
+            f"{outcome:>18}" for outcome in OUTCOMES)
+        print(f"chaos campaign: params={params.name} seed={report.seed} "
+              f"n={report.n} timeout={report.timeout_s:g}s "
+              f"retries={report.retries}")
+        print(header)
+        for kind, row in sorted(report.by_kind.items()):
+            print(f"{kind:<{width}}  " + "  ".join(
+                f"{row[outcome]:>18}" for outcome in OUTCOMES))
+        print(report.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        if not args.quiet:
+            print(f"chaos report written to {args.json}")
+    if args.bench_out:
+        write_bench(args.bench_out, "protocol", report.to_record())
+        if not args.quiet:
+            print(f"benchmark trajectory appended to {args.bench_out}")
+    # A hang is as disqualifying as an escape: resilience means every
+    # injected fault ends in recovery or a clean typed error.
+    return 1 if (report.escaped or report.hung) else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import random
     import time
@@ -514,11 +565,15 @@ def _write_trace_exports(root, chrome_path: str | None,
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from repro import telemetry
     from repro.service import KeyExchangeService, start_server
 
     params, configs = _service_configs(args)
+    if args.grace_s < 0:
+        raise ParameterError(
+            f"--grace-s must be non-negative (got {args.grace_s})")
     if not args.no_telemetry:
         # Default-on: per-request traces cost little (spans only
         # materialise per request/kernel aggregate) and make the
@@ -535,10 +590,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"engine {args.engine}"
               f"{', hardened' if args.hardened else ''}, telemetry "
               f"{'off' if args.no_telemetry else 'on'})")
+        sigterm = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, sigterm.set)
+            sigterm_wired = True
+        except (NotImplementedError, RuntimeError):
+            # Platforms without loop signal handlers just skip the
+            # graceful-drain path; Ctrl-C still works via the
+            # KeyboardInterrupt handler below.
+            sigterm_wired = False
         try:
             async with server:
-                await server.serve_forever()
+                forever = asyncio.ensure_future(server.serve_forever())
+                stop = asyncio.ensure_future(sigterm.wait())
+                await asyncio.wait(
+                    {forever, stop},
+                    return_when=asyncio.FIRST_COMPLETED)
+                stop.cancel()
+                forever.cancel()
+                try:
+                    await forever
+                except asyncio.CancelledError:
+                    pass
+                if sigterm.is_set():
+                    # Graceful drain: stop accepting, reject new
+                    # requests with the stable "service" code, let
+                    # in-flight work finish inside the grace budget.
+                    print(f"SIGTERM: draining in-flight requests "
+                          f"(grace {args.grace_s:g}s)")
+                    server.close()
+                    service.begin_drain()
+                    if await service.wait_idle(grace_s=args.grace_s):
+                        print("drained cleanly")
+                    else:
+                        print("grace period expired with requests "
+                              "still in flight")
         finally:
+            if sigterm_wired:
+                loop.remove_signal_handler(signal.SIGTERM)
             await service.aclose()
 
     try:
@@ -562,6 +652,11 @@ def _cmd_load(args: argparse.Namespace) -> int:
         raise ParameterError(
             f"--concurrency must be at least 1 (got "
             f"{args.concurrency})")
+    if args.timeout_s < 0:
+        raise ParameterError(
+            f"--timeout-s must be non-negative (got {args.timeout_s}; "
+            f"0 disables the per-request deadline)")
+    timeout_s = args.timeout_s if args.timeout_s > 0 else None
 
     if args.connect:
         host, port = _parse_endpoint(args.connect)
@@ -572,6 +667,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
                 exchanges=args.exchanges,
                 concurrency=args.concurrency,
                 seed=args.seed,
+                timeout_s=timeout_s,
             ))
         except OSError as exc:
             raise ServiceError(
@@ -587,6 +683,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
             hardened=args.hardened,
             seed=args.seed,
             trace=not args.no_trace,
+            timeout_s=timeout_s,
         ))
     print(report.summary())
     if report.trace_summary is not None:
@@ -709,6 +806,7 @@ def _cmd_watchdog(args: argparse.Namespace) -> int:
             ("latency", args.latency_tolerance),
             ("throughput", args.throughput_tolerance),
             ("cycles", args.cycles_tolerance),
+            ("recovery", args.recovery_tolerance),
         ) if value is not None
     }
     tolerances = watchdog.Tolerances(**overrides)
@@ -966,6 +1064,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser(
+        "chaos",
+        help="seeded network-chaos campaign against a live wire "
+             "server (drops, latency, corruption, reordering)")
+    p.add_argument("--params", choices=sorted(_PARAM_SETS),
+                   default="toy")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--n", type=int, default=16,
+                   help="network faults to inject (one per handshake)")
+    p.add_argument("--kinds", default=None,
+                   help="comma-separated chaos kinds (default: all)")
+    p.add_argument("--engine", default="replay",
+                   choices=("interpreter", "replay", "jit"),
+                   help="execution tier the chaos tenant runs on")
+    p.add_argument("--variant", default="reduced.ise")
+    p.add_argument("--timeout-s", type=float, default=0.75,
+                   metavar="S",
+                   help="per-request client timeout each trial runs "
+                        "with")
+    p.add_argument("--retries", type=int, default=3,
+                   help="client retry budget per request (>= 1: "
+                        "one-shot faults need a retry to recover)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full chaos report as JSON "
+                        "(byte-identical across same-seed runs)")
+    p.add_argument("--bench-out", default=None, metavar="PATH",
+                   help="append a chaos_load record to the "
+                        "BENCH_*.json perf trajectory")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the table (requires --json)")
+    p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
         "bench",
         help="time a group action per execution engine (+ batch API)")
     p.add_argument("--params", choices=sorted(_PARAM_SETS),
@@ -1013,6 +1143,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-telemetry", action="store_true",
                    help="skip telemetry.enable(): no request traces, "
                         "empty trace_export")
+    p.add_argument("--grace-s", type=float, default=5.0, metavar="S",
+                   help="graceful-drain budget on SIGTERM: stop "
+                        "accepting, let in-flight requests finish")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -1041,6 +1174,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bench-out", default=None, metavar="PATH",
                    help="append a service_load record to the "
                         "BENCH_*.json perf trajectory")
+    p.add_argument("--timeout-s", type=float, default=30.0,
+                   metavar="S",
+                   help="per-request deadline budget (0 disables; "
+                        "expired requests are retried and counted "
+                        "as deadline rejections)")
     p.set_defaults(func=_cmd_load)
 
     p = sub.add_parser(
@@ -1182,6 +1320,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycles-tolerance", type=float, default=None,
                    help="allowed relative growth of simulated cycle "
                         "counts (default 0.0: any increase fails)")
+    p.add_argument("--recovery-tolerance", type=float, default=None,
+                   help="allowed relative drop of chaos recovery "
+                        "rates (default 0.0: any drop fails)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the full report as JSON")
     p.set_defaults(func=_cmd_watchdog)

@@ -102,6 +102,53 @@ class AdmissionError(ServiceError):
     code = "admission"
 
 
+class DeadlineError(ServiceError):
+    """A request ran out of its deadline budget.
+
+    Raised (and reported over the wire with this stable ``code``) when
+    a request's ``deadline`` budget expires — while still queued for a
+    lane (the work is never started) or while executing (the response
+    is withheld and the late work drains in the background).  The
+    operations are stateless and idempotent, so the client may safely
+    retry with the same idempotency key.
+    """
+
+    code = "deadline"
+
+
+class CircuitOpenError(ServiceError):
+    """A request was rejected by an open per-tenant circuit breaker.
+
+    After a run of consecutive execution failures the tenant's breaker
+    opens and requests are rejected immediately with this stable
+    ``code`` — shedding load instead of queueing doomed work.  After
+    the cool-down one half-open probe is admitted; its outcome closes
+    or re-opens the circuit (see ``docs/ROBUSTNESS.md``).
+    """
+
+    code = "circuit_open"
+
+
+class TransportError(ServiceError):
+    """A wire-level transport fault (client side, retryable).
+
+    Raised by :class:`~repro.service.wire.ServiceClient` when the
+    connection drops mid-request, a response frame fails its checksum,
+    or no response arrives within the attempt budget.  Unlike the
+    in-band service errors, a transport fault says nothing about the
+    request's validity — the client retries it (same idempotency key)
+    up to its retry budget before letting this error surface.
+    """
+
+    code = "transport"
+
+
+class ChaosError(ReproError):
+    """Misuse of the network-chaos subsystem (bad site, bad plan)."""
+
+    code = "chaos"
+
+
 class RegressionError(ReproError):
     """A benchmark trajectory regressed beyond the watchdog tolerance.
 

@@ -18,7 +18,11 @@ Public surface:
   job (in-process, or over the wire against a live server).
 """
 
-from repro.service.admission import AdmissionController, Ticket
+from repro.service.admission import (
+    AdmissionController,
+    CircuitBreaker,
+    Ticket,
+)
 from repro.service.coalesce import RequestCoalescer
 from repro.service.load import (
     LoadReport,
@@ -42,6 +46,7 @@ __all__ = [
     "FIELD_OPS",
     "OVERLOAD_FLOOR",
     "AdmissionController",
+    "CircuitBreaker",
     "KeyExchangeService",
     "Lane",
     "LoadReport",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import math
+import random
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -30,7 +31,7 @@ from dataclasses import dataclass, field
 from repro import telemetry
 from repro.csidh.parameters import CsidhParameters
 from repro.csidh.protocol import Csidh, PrivateKey
-from repro.errors import AdmissionError, ServiceError
+from repro.errors import AdmissionError, DeadlineError, ServiceError
 from repro.field.fp import FieldContext
 from repro.service.server import KeyExchangeService
 from repro.service.tenancy import TenantConfig, default_tenant_configs
@@ -42,6 +43,11 @@ from repro.telemetry.spans import SpanNode
 #: deliberate overload and simply retried.
 RETRY_BACKOFF_S = 0.001
 MAX_ADMISSION_RETRIES = 10_000
+
+#: Default per-request deadline budget for the load harness — the
+#: bound that keeps ``repro load`` from waiting forever on a wedged
+#: server (satellite of the chaos/resilience work).
+DEFAULT_LOAD_TIMEOUT_S = 30.0
 
 
 @dataclass
@@ -62,6 +68,9 @@ class LoadReport:
     promotions: int
     fault_detections: int
     fault_recoveries: int
+    #: Requests that blew their deadline budget and were retried
+    #: (surfaced alongside admission rejections).
+    deadline_rejections: int = 0
     latencies_s: list[float] = field(default_factory=list, repr=False)
     #: Compact trace summary (span count, top kernels by cycles) when
     #: the run was traced; lands in the BENCH record as ``trace``.
@@ -104,6 +113,7 @@ class LoadReport:
             "latency_p99_ms": self.latency_percentile(0.99) * 1e3,
             "divergences": self.divergences,
             "rejections": self.rejections,
+            "deadline_rejections": self.deadline_rejections,
             "demotions": self.demotions,
             "promotions": self.promotions,
             "fault_detections": self.fault_detections,
@@ -124,7 +134,8 @@ class LoadReport:
             f"{self.latency_percentile(0.95) * 1e3:.1f}/"
             f"{self.latency_percentile(0.99) * 1e3:.1f} ms, "
             f"{self.divergences} divergences, "
-            f"{self.rejections} rejections, "
+            f"{self.rejections} rejections "
+            f"(+{self.deadline_rejections} deadline), "
             f"{self.demotions} demotions, "
             f"{self.fault_recoveries} recoveries"
         )
@@ -157,14 +168,24 @@ def expected_handshakes(
     return oracle
 
 
-async def _with_admission_retry(call, rejections: list[int]):
+async def _with_admission_retry(call, rejections: list[int],
+                                deadline_rejections: list[int] | None
+                                = None):
     """Run *call()* — retrying (with backoff) through deliberate
-    admission rejections, which are part of normal overload behavior."""
+    admission rejections, which are part of normal overload behavior.
+    Deadline expiries are likewise retried (the ops are idempotent)
+    but counted separately, so the load report can tell backpressure
+    from slowness."""
     for _ in range(MAX_ADMISSION_RETRIES):
         try:
             return await call()
         except AdmissionError:
             rejections[0] += 1
+            await asyncio.sleep(RETRY_BACKOFF_S)
+        except DeadlineError:
+            if deadline_rejections is None:
+                raise
+            deadline_rejections[0] += 1
             await asyncio.sleep(RETRY_BACKOFF_S)
     raise ServiceError(
         f"request still rejected after {MAX_ADMISSION_RETRIES} "
@@ -187,6 +208,7 @@ async def run_load(
     service: KeyExchangeService | None = None,
     oracle: list[tuple[int, int, int]] | None = None,
     trace: bool = False,
+    timeout_s: float | None = DEFAULT_LOAD_TIMEOUT_S,
 ) -> LoadReport:
     """Drive *exchanges* full handshakes, *concurrency* at a time.
 
@@ -227,12 +249,13 @@ async def run_load(
     gate = asyncio.Semaphore(concurrency)
     latencies: list[float] = []
     rejections = [0]
+    deadline_rejections = [0]
     divergences = 0
 
     async def timed(coroutine_factory):
         started = time.perf_counter()
         result = await _with_admission_retry(
-            coroutine_factory, rejections)
+            coroutine_factory, rejections, deadline_rejections)
         latencies.append(time.perf_counter() - started)
         return result
 
@@ -241,12 +264,14 @@ async def run_load(
         tenant = tenant_names[index % len(tenant_names)]
         seed_a, seed_b = _session_seeds(seed, index)
         async with gate:
-            pub_a = await timed(lambda: service.keygen(tenant, seed_a))
-            pub_b = await timed(lambda: service.keygen(tenant, seed_b))
-            secret_ab = await timed(
-                lambda: service.exchange(tenant, seed_a, pub_b))
-            secret_ba = await timed(
-                lambda: service.exchange(tenant, seed_b, pub_a))
+            pub_a = await timed(lambda: service.keygen(
+                tenant, seed_a, deadline_s=timeout_s))
+            pub_b = await timed(lambda: service.keygen(
+                tenant, seed_b, deadline_s=timeout_s))
+            secret_ab = await timed(lambda: service.exchange(
+                tenant, seed_a, pub_b, deadline_s=timeout_s))
+            secret_ba = await timed(lambda: service.exchange(
+                tenant, seed_b, pub_a, deadline_s=timeout_s))
         want_a, want_b, want_secret = oracle[index]
         return (pub_a == want_a and pub_b == want_b
                 and secret_ab == want_secret
@@ -299,6 +324,7 @@ async def run_load(
         requests=len(latencies),
         divergences=divergences,
         rejections=rejections[0],
+        deadline_rejections=deadline_rejections[0],
         demotions=demotions,
         promotions=promotions,
         fault_detections=detections,
@@ -318,6 +344,7 @@ async def run_load_remote(
     concurrency: int = 16,
     seed: int = 0,
     oracle: list[tuple[int, int, int]] | None = None,
+    timeout_s: float | None = DEFAULT_LOAD_TIMEOUT_S,
 ) -> LoadReport:
     """Drive a **live** ``repro serve`` instance over the wire.
 
@@ -340,7 +367,8 @@ async def run_load_remote(
         raise ServiceError(
             f"oracle covers {len(oracle)} sessions, need {exchanges}")
 
-    async with await ServiceClient().connect(host, port) as client:
+    client = ServiceClient(timeout_s=timeout_s, rng=random.Random(seed))
+    async with await client.connect(host, port) as client:
         before = await client.stats()
         if before["modulus_bits"] != params.p.bit_length():
             raise ServiceError(
@@ -352,11 +380,12 @@ async def run_load_remote(
         gate = asyncio.Semaphore(concurrency)
         latencies: list[float] = []
         rejections = [0]
+        deadline_rejections = [0]
 
         async def timed(coroutine_factory):
             started = time.perf_counter()
             result = await _with_admission_retry(
-                coroutine_factory, rejections)
+                coroutine_factory, rejections, deadline_rejections)
             latencies.append(time.perf_counter() - started)
             return result
 
@@ -407,6 +436,7 @@ async def run_load_remote(
         requests=len(latencies),
         divergences=sum(1 for ok in outcomes if not ok),
         rejections=rejections[0],
+        deadline_rejections=deadline_rejections[0],
         demotions=tenant_delta("demotions"),
         promotions=tenant_delta("promotions"),
         fault_detections=tenant_delta("fault_detections"),

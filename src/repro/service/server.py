@@ -40,8 +40,14 @@ from repro.telemetry import tracing
 from repro.csidh.parameters import CsidhParameters
 from repro.csidh.protocol import PrivateKey, PublicKey
 from repro.csidh.validate import is_supersingular
-from repro.errors import FaultError, ServiceError, SimulationError
-from repro.service.admission import AdmissionController
+from repro.errors import (
+    DeadlineError,
+    FaultError,
+    ReproError,
+    ServiceError,
+    SimulationError,
+)
+from repro.service.admission import AdmissionController, CircuitBreaker
 from repro.service.coalesce import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_WAIT_S,
@@ -65,6 +71,34 @@ DEFAULT_OVERLOAD_THRESHOLD = 0.9
 #: Completed-request latencies kept for the ``stats`` percentiles
 #: (a sliding window, so ``repro top`` shows recent behaviour).
 LATENCY_WINDOW = 1024
+
+#: Consecutive execution failures before a tenant's circuit opens.
+DEFAULT_BREAKER_THRESHOLD = 5
+
+#: Cool-down before an open circuit admits its half-open probe.
+DEFAULT_BREAKER_RESET_S = 30.0
+
+
+def _reap(task: asyncio.Task) -> None:
+    """Retrieve a drained task's outcome so asyncio never logs it."""
+    if not task.cancelled():
+        task.exception()
+
+
+def _breaker_signal(exc: BaseException):
+    """Map one failed execution onto circuit-breaker evidence.
+
+    ``False`` counts toward tripping the circuit (the backend looks
+    broken: faults, simulator crashes, deadline blowouts, unexpected
+    internal errors).  ``None`` is neutral (admission rejections and
+    request-validity errors say nothing about backend health) — it
+    releases a half-open probe without deciding it.
+    """
+    if isinstance(exc, (FaultError, SimulationError, DeadlineError)):
+        return False
+    if isinstance(exc, ReproError):
+        return None
+    return False
 
 
 def _seed_bytes(seed) -> bytes:
@@ -98,6 +132,9 @@ class KeyExchangeService:
         coalesce_batch: int = DEFAULT_MAX_BATCH,
         coalesce_wait_s: float = DEFAULT_MAX_WAIT_S,
         overload_threshold: float = DEFAULT_OVERLOAD_THRESHOLD,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_reset_s: float = DEFAULT_BREAKER_RESET_S,
+        breaker_clock=None,
     ) -> None:
         self.params = params
         configs = list(tenants) if tenants is not None \
@@ -113,11 +150,17 @@ class KeyExchangeService:
             for cfg in configs
         }
         self.admission = AdmissionController(max_inflight=max_inflight)
+        breaker_kwargs = {} if breaker_clock is None \
+            else {"clock": breaker_clock}
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            reset_timeout_s=breaker_reset_s, **breaker_kwargs)
         self.overload_threshold = overload_threshold
         self._lanes: dict[str, asyncio.Queue] = {}
         for tenant in self.tenants.values():
             self.admission.configure(
                 tenant.config.name, tenant.config.capacity)
+            self.breaker.configure(tenant.config.name)
             queue: asyncio.Queue = asyncio.Queue()
             for lane in tenant.lanes:
                 queue.put_nowait(lane)
@@ -140,8 +183,10 @@ class KeyExchangeService:
         self._requests: dict[str, int] = {}
         self._errors: dict[str, int] = {}
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._deadline_exceeded: dict[str, int] = {}
         self._started_monotonic = time.monotonic()
         self._closed = False
+        self._draining = False
 
     # -- tenant / lane plumbing ----------------------------------------------
 
@@ -220,9 +265,93 @@ class KeyExchangeService:
             self._errors[tenant] = self._errors.get(tenant, 0) + 1
         self._latencies.append(seconds)
 
+    def _check_accepting(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")
+        if self._draining:
+            raise ServiceError(
+                "service is draining; not accepting new requests")
+
+    @staticmethod
+    def _deadline_at(deadline_s) -> float | None:
+        """Turn a wire ``deadline`` budget into a loop-clock instant.
+
+        The budget is *seconds from server receipt*, not an absolute
+        timestamp, so client/server clock skew can never expire a
+        request on arrival.
+        """
+        if deadline_s is None:
+            return None
+        try:
+            budget = float(deadline_s)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                f"deadline must be a number of seconds "
+                f"(got {deadline_s!r})") from None
+        if not budget > 0 or not math.isfinite(budget):
+            raise ServiceError(
+                f"deadline must be a positive finite number of "
+                f"seconds (got {deadline_s!r})")
+        return asyncio.get_running_loop().time() + budget
+
+    def _deadline_error(self, tenant: str, op: str,
+                        where: str) -> DeadlineError:
+        self._deadline_exceeded[tenant] = (
+            self._deadline_exceeded.get(tenant, 0) + 1)
+        telemetry.record_deadline_exceeded(op, where)
+        return DeadlineError(
+            f"{op} for tenant {tenant!r} exceeded its deadline "
+            f"while {where}")
+
+    async def _execute_deadlined(self, tenant: Tenant, op: str, call,
+                                 deadline_at: float | None):
+        """Lane checkout + ladder, bounded by *deadline_at*.
+
+        A deadline hit while queued for a lane cancels the wait — the
+        work never starts.  A deadline hit mid-execution withholds the
+        response but lets the executor-thread work **drain in the
+        background** (the lane is checked in only when its thread is
+        truly done, so a timed-out request can never leak a lane's
+        mutable simulator state to the next request).
+        """
+        name = tenant.config.name
+        if deadline_at is None:
+            lane = await self._checkout(tenant)
+            try:
+                return await self._run_on_ladder(tenant, lane, op, call)
+            finally:
+                self._checkin(tenant, lane)
+        loop = asyncio.get_running_loop()
+        remaining = deadline_at - loop.time()
+        if remaining <= 0:
+            raise self._deadline_error(name, op, "queued")
+        try:
+            lane = await asyncio.wait_for(
+                self._checkout(tenant), remaining)
+        except asyncio.TimeoutError:
+            raise self._deadline_error(
+                name, op, "queued") from None
+
+        async def run_and_checkin():
+            try:
+                return await self._run_on_ladder(tenant, lane, op, call)
+            finally:
+                self._checkin(tenant, lane)
+
+        inner = asyncio.ensure_future(run_and_checkin())
+        inner.add_done_callback(_reap)
+        remaining = deadline_at - loop.time()
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(inner), max(remaining, 0.0))
+        except asyncio.TimeoutError:
+            raise self._deadline_error(
+                name, op, "running") from None
+
     async def _run_op(self, tenant_name: str, op: str, call,
-                      trace_id: str | None = None):
-        """Admission -> lane -> ladder -> telemetry, for one request.
+                      trace_id: str | None = None,
+                      deadline_s=None):
+        """Breaker -> admission -> lane -> ladder -> telemetry.
 
         The whole pipeline runs under a per-request trace context
         (:func:`repro.telemetry.tracing.request_trace`): with telemetry
@@ -230,23 +359,29 @@ class KeyExchangeService:
         coalescer waits, per-kernel cycles — hangs off one ``request``
         node keyed by the (possibly wire-supplied) ``trace_id``.
         """
-        if self._closed:
-            raise ServiceError("service is closed")
+        self._check_accepting()
         tenant = self._tenant(tenant_name)
+        deadline_at = self._deadline_at(deadline_s)
         started = time.perf_counter()
         try:
             with tracing.request_trace(op, tenant_name,
                                        trace_id=trace_id):
-                with self.admission.admit(tenant_name):
-                    if (self.admission.saturation(tenant_name)
-                            >= self.overload_threshold):
-                        tenant.demote("overload")
-                    lane = await self._checkout(tenant)
-                    try:
-                        result = await self._run_on_ladder(
-                            tenant, lane, op, call)
-                    finally:
-                        self._checkin(tenant, lane)
+                self.breaker.check(tenant_name)
+                try:
+                    with self.admission.admit(tenant_name):
+                        if (self.admission.saturation(tenant_name)
+                                >= self.overload_threshold):
+                            tenant.demote("overload")
+                        result = await self._execute_deadlined(
+                            tenant, op, call, deadline_at)
+                except Exception as exc:
+                    # check() admitted this request (possibly as the
+                    # half-open probe): exactly one record() balances it.
+                    self.breaker.record(
+                        tenant_name, _breaker_signal(exc))
+                    raise
+                else:
+                    self.breaker.record(tenant_name, True)
         except Exception:
             telemetry.record_service_request(tenant_name, op, "error")
             self._note_request(
@@ -261,7 +396,8 @@ class KeyExchangeService:
     # -- protocol operations -------------------------------------------------
 
     async def keygen(self, tenant: str, seed, *,
-                     trace_id: str | None = None) -> int:
+                     trace_id: str | None = None,
+                     deadline_s=None) -> int:
         """Derive the keypair for *seed*; return the public coefficient."""
         seed_data = _seed_bytes(seed)
 
@@ -270,11 +406,13 @@ class KeyExchangeService:
             public = lane.endpoint(engine).public_key(private)
             return public.coefficient
 
-        return await self._run_op(tenant, "keygen", call, trace_id)
+        return await self._run_op(tenant, "keygen", call, trace_id,
+                                  deadline_s)
 
     async def exchange(self, tenant: str, seed, peer_public: int,
                        *, validate: bool = True,
-                       trace_id: str | None = None) -> int:
+                       trace_id: str | None = None,
+                       deadline_s=None) -> int:
         """Shared secret between *seed*'s key and *peer_public*."""
         seed_data = _seed_bytes(seed)
         if not isinstance(peer_public, int):
@@ -286,10 +424,12 @@ class KeyExchangeService:
             return lane.endpoint(engine).shared_secret(
                 private, PublicKey(peer_public), validate=validate)
 
-        return await self._run_op(tenant, "exchange", call, trace_id)
+        return await self._run_op(tenant, "exchange", call, trace_id,
+                                  deadline_s)
 
     async def verify(self, tenant: str, public: int, *,
-                     trace_id: str | None = None) -> bool:
+                     trace_id: str | None = None,
+                     deadline_s=None) -> bool:
         """Is *public* a valid (supersingular) public key?"""
         if not isinstance(public, int):
             raise ServiceError("public key must be an integer "
@@ -303,7 +443,8 @@ class KeyExchangeService:
                 self.params, lane.context(engine),
                 public % self.params.p, rng)
 
-        return await self._run_op(tenant, "verify", call, trace_id)
+        return await self._run_op(tenant, "verify", call, trace_id,
+                                  deadline_s)
 
     # -- coalesced field operations ------------------------------------------
 
@@ -329,10 +470,10 @@ class KeyExchangeService:
 
     async def field_op(self, tenant: str, op: str,
                        operands: Sequence[int], *,
-                       trace_id: str | None = None) -> int:
+                       trace_id: str | None = None,
+                       deadline_s=None) -> int:
         """One modular field operation, batched across sessions."""
-        if self._closed:
-            raise ServiceError("service is closed")
+        self._check_accepting()
         arity = FIELD_OPS.get(op)
         if arity is None:
             raise ServiceError(
@@ -344,16 +485,24 @@ class KeyExchangeService:
                 f"field op {op!r} takes {arity} operand(s), "
                 f"got {len(operands)}")
         tenant_obj = self._tenant(tenant)
+        deadline_at = self._deadline_at(deadline_s)
         started = time.perf_counter()
         try:
             with tracing.request_trace("field_op", tenant,
                                        trace_id=trace_id):
-                with self.admission.admit(tenant):
-                    if (self.admission.saturation(tenant)
-                            >= self.overload_threshold):
-                        tenant_obj.demote("overload")
-                    result = await self._coalescers[
-                        tenant_obj.config.name].submit(op, operands)
+                self.breaker.check(tenant)
+                try:
+                    with self.admission.admit(tenant):
+                        if (self.admission.saturation(tenant)
+                                >= self.overload_threshold):
+                            tenant_obj.demote("overload")
+                        result = await self._submit_deadlined(
+                            tenant_obj, op, operands, deadline_at)
+                except Exception as exc:
+                    self.breaker.record(tenant, _breaker_signal(exc))
+                    raise
+                else:
+                    self.breaker.record(tenant, True)
         except Exception:
             telemetry.record_service_request(tenant, "field_op", "error")
             self._note_request(
@@ -364,6 +513,28 @@ class KeyExchangeService:
         telemetry.record_service_latency("field_op", elapsed)
         self._note_request(tenant, elapsed, ok=True)
         return result
+
+    async def _submit_deadlined(self, tenant_obj: Tenant, op: str,
+                                operands, deadline_at: float | None):
+        """Coalescer submit bounded by *deadline_at* (same drain
+        semantics as :meth:`_execute_deadlined`: the batch completes
+        in the background, only this request's response is withheld)."""
+        name = tenant_obj.config.name
+        if deadline_at is None:
+            return await self._coalescers[name].submit(op, operands)
+        loop = asyncio.get_running_loop()
+        remaining = deadline_at - loop.time()
+        if remaining <= 0:
+            raise self._deadline_error(name, "field_op", "queued")
+        inner = asyncio.ensure_future(
+            self._coalescers[name].submit(op, operands))
+        inner.add_done_callback(_reap)
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(inner), remaining)
+        except asyncio.TimeoutError:
+            raise self._deadline_error(
+                name, "field_op", "running") from None
 
     # -- introspection / lifecycle -------------------------------------------
 
@@ -390,6 +561,10 @@ class KeyExchangeService:
                 "promotions": tenant.promotions,
                 "fault_detections": detections,
                 "fault_recoveries": recoveries,
+                "circuit": self.breaker.state(name),
+                "circuit_rejections": self.breaker.rejected(name),
+                "deadline_exceeded":
+                    self._deadline_exceeded.get(name, 0),
             }
         coalesced = {
             name: {"batches": c.batches_flushed,
@@ -412,6 +587,8 @@ class KeyExchangeService:
             "requests_total": sum(self._requests.values()),
             "errors_total": sum(self._errors.values()),
             "rejections_total": self.admission.total_rejected(),
+            "deadline_exceeded_total":
+                sum(self._deadline_exceeded.values()),
             "latency_ms": {
                 "p50": pct(0.50) * 1e3,
                 "p95": pct(0.95) * 1e3,
@@ -420,6 +597,55 @@ class KeyExchangeService:
             },
             "coalesced": coalesced,
         }
+
+    def health(self) -> dict:
+        """Liveness/readiness snapshot (also served as op ``health``).
+
+        Cheaper and stabler than :meth:`stats`: meant for probes and
+        the drain sequence, not dashboards.
+        """
+        status = ("closed" if self._closed
+                  else "draining" if self._draining else "ok")
+        return {
+            "status": status,
+            "ready": self.ready(),
+            "uptime_s": time.monotonic() - self._started_monotonic,
+            "inflight": self.admission.total_inflight(),
+            "tenants": {
+                name: {"engine": tenant.engine,
+                       "circuit": self.breaker.state(name)}
+                for name, tenant in self.tenants.items()
+            },
+        }
+
+    def ready(self) -> bool:
+        """Whether the service is accepting new requests."""
+        return not self._closed and not self._draining
+
+    def begin_drain(self) -> None:
+        """Stop accepting new requests; in-flight work continues.
+
+        The graceful-shutdown sequence (``repro serve`` on SIGTERM) is
+        ``begin_drain()`` -> :meth:`wait_idle` -> :meth:`aclose`.
+        """
+        self._draining = True
+
+    async def wait_idle(self, grace_s: float = 5.0) -> bool:
+        """Wait up to *grace_s* for in-flight requests to finish.
+
+        Returns ``True`` when the service went idle (and its
+        coalescers flushed) within the grace window, ``False`` when
+        work was still in flight at the deadline — the caller closes
+        anyway, abandoning the stragglers.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(grace_s, 0.0)
+        while self.admission.total_inflight() > 0:
+            if loop.time() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        await self.drain()
+        return True
 
     async def drain(self) -> None:
         """Flush coalescers and wait for their batches to finish."""

@@ -59,6 +59,10 @@ __all__ = [
     "record_service_latency", "record_service_inflight",
     "record_service_demotion", "record_service_promotion",
     "record_coalesced_batch",
+    "record_service_internal_error", "record_service_retry",
+    "record_service_reconnect", "record_deadline_exceeded",
+    "record_circuit_state",
+    "record_chaos_injection", "record_chaos_trial",
     "current_span_path",
     "record_shard_completed", "record_shard_steal",
     "record_shard_requeue", "record_shard_worker_failure",
@@ -442,6 +446,82 @@ def record_coalesced_batch(op: str, n: int) -> None:
         "service_coalesced_items_total",
         "requests served through coalesced batches",
     ).inc(n, op=op)
+
+
+# -- service resilience: deadlines, retries, circuit breaking ----------------
+# (see docs/ROBUSTNESS.md, "Network chaos & resilience")
+
+#: Gauge encoding for circuit-breaker states.
+CIRCUIT_STATES = {"closed": 0, "open": 1, "half_open": 2}
+
+
+def record_service_internal_error(op: str) -> None:
+    """A non-``ReproError`` exception caught at the wire boundary."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "service_internal_errors_total",
+        "unexpected exceptions answered with the service code",
+    ).inc(op=op)
+
+
+def record_service_retry(op: str, reason: str) -> None:
+    """One client-side retry of an idempotent request, by reason."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "service_retries_total",
+        "client request retries by op and reason",
+    ).inc(op=op, reason=reason)
+
+
+def record_service_reconnect() -> None:
+    """The client re-established a dropped connection."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "service_reconnects_total", "client reconnections"
+    ).inc()
+
+
+def record_deadline_exceeded(op: str, where: str) -> None:
+    """A request deadline expired (``queued`` or ``running``)."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "service_deadline_exceeded_total",
+        "requests that ran out of deadline budget",
+    ).inc(op=op, where=where)
+
+
+def record_circuit_state(tenant: str, state: str) -> None:
+    """A circuit-breaker transition (closed=0 / open=1 / half_open=2)."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.gauge(
+        "circuit_state", "per-tenant circuit-breaker state"
+    ).set(CIRCUIT_STATES[state], tenant=tenant)
+
+
+# -- the network-chaos subsystem (see repro.chaos) ---------------------------
+
+
+def record_chaos_injection(kind: str) -> None:
+    """One chaos site fired inside the proxy, by site kind."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "chaos_injections_total", "network faults injected by kind"
+    ).inc(kind=kind)
+
+
+def record_chaos_trial(kind: str, outcome: str) -> None:
+    """One chaos-campaign trial classified, by site kind and outcome."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "chaos_trials_total", "chaos trials by site kind and outcome"
+    ).inc(kind=kind, outcome=outcome)
 
 
 # -- the sharded multi-process execution subsystem ---------------------------

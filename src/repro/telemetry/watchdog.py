@@ -20,8 +20,14 @@ Metric classes and their default tolerances:
 * *deterministic cycle counts* (``simulated_cycles``) — the simulator
   is bit-exact, so **any** increase is a real regression
   (:data:`DEFAULT_CYCLES_TOLERANCE`, 0.0);
-* *invariants* (``divergences``) — never compared to a baseline; a
-  nonzero value in the latest run is a finding outright.
+* *deterministic recovery rate* (``recovery_rate``, from
+  ``chaos_load`` records) — chaos campaigns are seeded and their
+  outcomes are a pure function of the seed, so any drop below the
+  baseline median is a real resilience regression
+  (:data:`DEFAULT_RECOVERY_TOLERANCE`, 0.0);
+* *invariants* (``divergences``, ``escaped``, ``hung``) — never
+  compared to a baseline; a nonzero value in the latest run is a
+  finding outright.
 
 Every finding carries the stable error code ``"regression"``
 (:class:`~repro.errors.RegressionError`); :func:`enforce` raises it,
@@ -48,6 +54,9 @@ DEFAULT_THROUGHPUT_TOLERANCE = 0.35
 #: Simulated cycle counts are deterministic: zero tolerance — any
 #: increase over the baseline median is a regression.
 DEFAULT_CYCLES_TOLERANCE = 0.0
+#: Chaos recovery rates are a pure function of the seed: zero
+#: tolerance — any drop below the baseline median is a regression.
+DEFAULT_RECOVERY_TOLERANCE = 0.0
 
 #: Record fields that identify a workload; runs sharing all present
 #: key fields form one comparison group.  (``repro profile`` records
@@ -55,7 +64,7 @@ DEFAULT_CYCLES_TOLERANCE = 0.0
 GROUP_KEYS = (
     "mode", "params", "variant", "engine", "exchanges",
     "concurrency", "tenants", "hardened", "rounds",
-    "workers", "shards",
+    "workers", "shards", "n", "seed",
 )
 
 _LOWER_BETTER = (
@@ -64,6 +73,11 @@ _LOWER_BETTER = (
 )
 _HIGHER_BETTER = ("throughput_per_s",)
 _TIGHT = ("simulated_cycles",)
+_RECOVERY = ("recovery_rate",)
+#: Metrics that must be 0 in the latest run of every group, baseline
+#: or not: a divergence/escape is a wrong answer that left the
+#: service, a hang means the resilience stack wedged.
+_INVARIANTS = ("divergences", "escaped", "hung")
 
 
 @dataclass(frozen=True)
@@ -73,9 +87,10 @@ class Tolerances:
     latency: float = DEFAULT_LATENCY_TOLERANCE
     throughput: float = DEFAULT_THROUGHPUT_TOLERANCE
     cycles: float = DEFAULT_CYCLES_TOLERANCE
+    recovery: float = DEFAULT_RECOVERY_TOLERANCE
 
     def __post_init__(self) -> None:
-        for name in ("latency", "throughput", "cycles"):
+        for name in ("latency", "throughput", "cycles", "recovery"):
             value = getattr(self, name)
             if value < 0:
                 raise TelemetryError(
@@ -84,7 +99,8 @@ class Tolerances:
     def for_class(self, kind: str) -> float:
         return {"latency": self.latency,
                 "throughput": self.throughput,
-                "cycles": self.cycles}[kind]
+                "cycles": self.cycles,
+                "recovery": self.recovery}[kind]
 
 
 @dataclass(frozen=True)
@@ -204,6 +220,10 @@ def _metrics(record: dict) -> dict[str, tuple[float, str]]:
         value = _number(record.get(name))
         if value is not None:
             out[name] = (value, "cycles")
+    for name in _RECOVERY:
+        value = _number(record.get(name))
+        if value is not None:
+            out[name] = (value, "recovery")
     engines = record.get("engines")
     if isinstance(engines, dict):  # engine_comparison records
         for engine, row in engines.items():
@@ -242,14 +262,16 @@ def check_records(
         latest = runs[-1]
         latest_metrics = _metrics(latest)
 
-        # Invariant: a divergence is an escaped wrong answer — flag
-        # it on the latest run even without any baseline.
-        divergences = _number(latest.get("divergences"))
-        if divergences:
-            report.findings.append(Finding(
-                path=path, group=group, metric="divergences",
-                kind="invariant", direction="invariant",
-                baseline=0.0, latest=divergences, tolerance=0.0))
+        # Invariants: a divergence/escape is a wrong answer that left
+        # the service, a hang is a wedged resilience stack — flag on
+        # the latest run even without any baseline.
+        for invariant in _INVARIANTS:
+            value = _number(latest.get(invariant))
+            if value:
+                report.findings.append(Finding(
+                    path=path, group=group, metric=invariant,
+                    kind="invariant", direction="invariant",
+                    baseline=0.0, latest=value, tolerance=0.0))
 
         if len(runs) < 2:
             report.groups_skipped += 1
@@ -271,7 +293,7 @@ def check_records(
                 continue  # degenerate baseline: nothing to compare
             tolerance = tolerances.for_class(kind)
             report.metrics_checked += 1
-            if kind == "throughput":
+            if kind in ("throughput", "recovery"):
                 if value < baseline * (1.0 - tolerance):
                     report.findings.append(Finding(
                         path=path, group=group, metric=metric,

@@ -1,0 +1,107 @@
+"""End-to-end chaos campaigns: every fault recovers or fails clean.
+
+The acceptance gate of the whole resilience stack: a full campaign
+over all eight fault kinds must finish with zero hangs, zero escapes,
+every recovered secret bit-identical to the pure-Python oracle, and a
+report that serializes byte-identically across two same-seed runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    ALL_KINDS,
+    OUTCOME_ESCAPED,
+    OUTCOME_HUNG,
+    OUTCOMES,
+    run_chaos_campaign,
+)
+from repro.errors import ChaosError
+
+#: Fast fault kinds (no above-timeout latency stall, no client-side
+#: timeout wait) for the tests that re-run campaigns.
+QUICK_KINDS = ("drop_pre", "drop_mid", "drop_post", "duplicate",
+               "reorder")
+
+
+@pytest.fixture(scope="module")
+def campaign(toy_params):
+    return run_chaos_campaign(toy_params, seed=3, n=10,
+                              timeout_s=0.4)
+
+
+class TestCampaign:
+    def test_nothing_hangs_or_escapes(self, campaign):
+        assert campaign.hung == 0
+        assert campaign.escaped == 0
+
+    def test_every_site_fired(self, campaign):
+        assert all(trial.injected for trial in campaign.trials)
+
+    def test_outcomes_are_classified(self, campaign):
+        for trial in campaign.trials:
+            assert trial.outcome in OUTCOMES
+        counts = campaign.outcomes
+        assert sum(counts.values()) == campaign.n
+        assert set(counts) == set(OUTCOMES)
+
+    def test_recovery_rate_counts_correct_completions(self, campaign):
+        counts = campaign.outcomes
+        good = (counts["recovered_by_retry"] + counts["masked"])
+        assert campaign.recovery_rate == good / campaign.n
+        assert campaign.recovery_rate == 1.0
+
+    def test_by_kind_partitions_trials(self, campaign):
+        total = sum(sum(row.values())
+                    for row in campaign.by_kind.values())
+        assert total == campaign.n
+
+    def test_bench_record_shape(self, campaign):
+        record = campaign.to_record()
+        assert record["mode"] == "chaos_load"
+        assert record["escaped"] == 0
+        assert record["hung"] == 0
+        assert record["recovery_rate"] == 1.0
+        assert record["duration_s"] > 0
+
+    def test_report_excludes_wall_clock(self, campaign):
+        data = campaign.to_dict()
+        assert "duration_s" not in data
+        assert "retries_total" not in data
+        assert "reconnects_total" not in data
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_reports(self, toy_params):
+        kwargs = dict(seed=11, n=6, kinds=QUICK_KINDS, timeout_s=0.4)
+        first = run_chaos_campaign(toy_params, **kwargs)
+        second = run_chaos_campaign(toy_params, **kwargs)
+        assert (json.dumps(first.to_dict(), sort_keys=True)
+                == json.dumps(second.to_dict(), sort_keys=True))
+
+
+class TestValidation:
+    def test_zero_retries_rejected(self, toy_params):
+        with pytest.raises(ChaosError, match="at least one retry"):
+            run_chaos_campaign(toy_params, n=2, retries=0)
+
+    def test_non_positive_timeout_rejected(self, toy_params):
+        with pytest.raises(ChaosError, match="timeout_s"):
+            run_chaos_campaign(toy_params, n=2, timeout_s=0)
+
+    def test_unknown_kind_rejected(self, toy_params):
+        with pytest.raises(ChaosError, match="unknown chaos kind"):
+            run_chaos_campaign(toy_params, n=2, kinds=("fire",))
+
+
+class TestOutcomeConstants:
+    def test_failure_outcomes_are_distinct(self):
+        assert OUTCOME_HUNG in OUTCOMES
+        assert OUTCOME_ESCAPED in OUTCOMES
+        assert len(set(OUTCOMES)) == len(OUTCOMES)
+
+    def test_all_kinds_is_the_default_surface(self):
+        assert set(QUICK_KINDS) <= set(ALL_KINDS)

@@ -1,0 +1,91 @@
+"""Determinism and validation of the chaos plan layer.
+
+Same contract as the fault-plan suite: the seed is the whole story.
+Re-running with the seed from a failing chaos report must reproduce
+the exact fault sequence, so the plan generator is a pure function of
+the seed and survives JSON round trips bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chaos import ALL_KINDS, ChaosPlan, ChaosSite
+from repro.errors import ChaosError
+
+SEEDS = st.integers(min_value=0, max_value=2**63 - 1)
+
+
+class TestPlanDeterminism:
+    @given(seed=SEEDS, n=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_same_seed_same_sites(self, seed, n):
+        assert (ChaosPlan(seed=seed).generate(n)
+                == ChaosPlan(seed=seed).generate(n))
+
+    @given(seed=SEEDS, n=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=25, deadline=None)
+    def test_prefix_stability(self, seed, n):
+        """Asking for fewer faults yields a prefix, not a reshuffle."""
+        full = ChaosPlan(seed=seed).generate(n)
+        assert ChaosPlan(seed=seed).generate(n - 1) == full[:-1]
+
+    @given(seed=SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_site_fields_in_range(self, seed):
+        for site in ChaosPlan(seed=seed).generate(16):
+            assert site.kind in ALL_KINDS
+            assert 0 <= site.nth < 1 << 16
+            assert 0 <= site.byte < 1 << 16
+            assert 0 <= site.mask < 1 << 8
+            assert 0 <= site.delay < 1 << 8
+            assert 0 <= site.direction < 1 << 8
+
+    @given(seed=SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_kind_restriction_respected(self, seed):
+        kinds = ALL_KINDS[:3]
+        for site in ChaosPlan(seed=seed, kinds=kinds).generate(16):
+            assert site.kind in kinds
+
+    def test_all_kinds_reachable(self):
+        kinds = {site.kind
+                 for site in ChaosPlan(seed=0).generate(256)}
+        assert kinds == set(ALL_KINDS)
+
+
+class TestPlanValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ChaosError, match="unknown chaos kind"):
+            ChaosPlan(seed=1, kinds=("packet_storm",))
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(ChaosError, match="at least one kind"):
+            ChaosPlan(seed=1, kinds=())
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ChaosError, match="at least one trial"):
+            ChaosPlan(seed=1).generate(0)
+
+
+class TestRoundTrip:
+    @given(seed=SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_plan_round_trip(self, seed):
+        plan = ChaosPlan(seed=seed, kinds=ALL_KINDS[2:5])
+        assert ChaosPlan.from_dict(plan.to_dict()) == plan
+
+    @given(seed=SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_site_round_trip(self, seed):
+        for site in ChaosPlan(seed=seed).generate(8):
+            assert ChaosSite.from_dict(site.to_dict()) == site
+
+    def test_plan_missing_field_rejected(self):
+        with pytest.raises(ChaosError, match="missing field"):
+            ChaosPlan.from_dict({"seed": 3})
+
+    def test_site_missing_field_rejected(self):
+        with pytest.raises(ChaosError, match="missing field"):
+            ChaosSite.from_dict({"index": 0, "kind": "latency"})
