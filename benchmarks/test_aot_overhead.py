@@ -1,0 +1,124 @@
+"""Speedup guards for the aot execution tier and its artifact cache.
+
+The acceptance contract of the aot PR:
+
+* the aot engine runs the toy group action at least **2x** faster than
+  the jit engine — whole-kernel fusion must strip the per-instruction
+  dispatch the jit tier still pays;
+* constructing runners against a **warm** artifact cache is faster
+  than a cold construction (trace + symbolic execution + codegen are
+  skipped; the stored thunk source is just re-bound);
+* the existing ladder floors stay intact — jit >= 2x over replay,
+  replay > 3x over the interpreter, checked mode < 2x over plain —
+  so the new top rung cannot silently compress the rungs below it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.csidh.group_action import group_action
+from repro.csidh.parameters import csidh_toy
+from repro.field.simulated import SimulatedFieldContext
+from repro.kernels.registry import cached_kernels
+from repro.kernels.runner import KernelRunner
+
+EXPONENTS = (1, -1, 1)
+
+
+def _run_action(*, engine: str | None = None,
+                checked: bool = False) -> float:
+    params = csidh_toy()
+    field = SimulatedFieldContext(params.p, engine=engine,
+                                  checked=checked)
+    start = time.perf_counter()
+    group_action(params, field, 0, EXPONENTS, random.Random(3))
+    return time.perf_counter() - start
+
+
+def _best_of(n: int, run) -> float:
+    return min(run() for _ in range(n))
+
+
+def test_aot_at_least_2x_over_jit():
+    """The fused tier halves (at least) the jit wall time on a full
+    toy group action."""
+    _run_action(engine="jit")   # warm pools + jit caches
+    _run_action(engine="aot")   # warm pools + aot caches
+    # interleave the two measurements so a load spike hits both sides
+    jit = aot = float("inf")
+    for _ in range(4):
+        jit = min(jit, _run_action(engine="jit"))
+        aot = min(aot, _run_action(engine="aot"))
+    ratio = jit / aot
+    print(f"\n=== toy action: jit {jit*1e3:.1f} ms, "
+          f"aot {aot*1e3:.1f} ms ({ratio:.2f}x) ===")
+    assert ratio > 2.0
+
+
+def _construct_all(kernels) -> float:
+    start = time.perf_counter()
+    for kernel in kernels.values():
+        KernelRunner(kernel, engine="aot")
+    return time.perf_counter() - start
+
+
+def test_warm_artifact_cache_beats_cold_start(monkeypatch, tmp_path):
+    """Binding persisted thunks is faster than re-tracing and re-fusing
+    the whole kernel matrix from scratch."""
+    kernels = cached_kernels(csidh_toy().p)
+
+    cold = float("inf")
+    for index in range(3):
+        monkeypatch.setenv("REPRO_AOT_CACHE",
+                           str(tmp_path / f"cold{index}"))
+        cold = min(cold, _construct_all(kernels))
+
+    warm_dir = tmp_path / "warm"
+    monkeypatch.setenv("REPRO_AOT_CACHE", str(warm_dir))
+    _construct_all(kernels)  # populate the cache
+    warm = _best_of(3, lambda: _construct_all(kernels))
+
+    ratio = cold / warm
+    print(f"\n=== {len(kernels)} runners: cold {cold*1e3:.1f} ms, "
+          f"warm {warm*1e3:.1f} ms ({ratio:.2f}x) ===")
+    assert warm < cold
+
+
+def test_jit_floor_over_replay_intact():
+    """PR 4's guard: jit stays >=2x faster than replay."""
+    _run_action(engine="replay")
+    _run_action(engine="jit")
+    replay = jit = float("inf")
+    for _ in range(4):
+        replay = min(replay, _run_action(engine="replay"))
+        jit = min(jit, _run_action(engine="jit"))
+    ratio = replay / jit
+    print(f"\n=== toy action: replay {replay*1e3:.1f} ms, "
+          f"jit {jit*1e3:.1f} ms ({ratio:.2f}x) ===")
+    assert ratio > 2.0
+
+
+def test_replay_floor_over_interpreter_intact():
+    """PR 1's guard: replay stays >3x faster than the interpreter."""
+    _run_action(engine="interpreter")
+    _run_action(engine="replay")
+    interp = _best_of(2, lambda: _run_action(engine="interpreter"))
+    replay = _best_of(3, lambda: _run_action(engine="replay"))
+    ratio = interp / replay
+    print(f"\n=== toy action: interpreter {interp*1e3:.1f} ms, "
+          f"replay {replay*1e3:.1f} ms ({ratio:.2f}x) ===")
+    assert ratio > 3.0
+
+
+def test_checked_mode_guard_intact():
+    """PR 3's guard: hardening still costs < 2x over plain replay."""
+    _run_action()
+    _run_action(checked=True)
+    plain = _best_of(3, _run_action)
+    checked = _best_of(3, lambda: _run_action(checked=True))
+    ratio = checked / plain
+    print(f"\n=== toy action: plain {plain*1e3:.1f} ms, "
+          f"checked {checked*1e3:.1f} ms ({ratio:.2f}x) ===")
+    assert ratio < 2.0

@@ -49,6 +49,7 @@ from repro.rv64.isa import (
     OP_CUSTOM_SRAIADD,
     register_global_spec,
 )
+from repro.rv64.aot import register_expr as register_aot_expr
 from repro.rv64.jit import register_template as register_jit_template
 from repro.rv64.replay import register_compiler as register_replay_compiler
 
@@ -289,3 +290,25 @@ register_jit_template(
     _jit_r4(f"(((({{a}} * {{b}}) >> {REDUCED_RADIX_BITS}) & M) + {{c}}) & M"))
 register_jit_template("cadd", _jit_r4("((({a} + {b}) >> 64) + {c}) & M"))
 register_jit_template("sraiadd", _jit_sraiadd)
+
+
+# ---------------------------------------------------------------------------
+# Whole-kernel aot expressions
+# ---------------------------------------------------------------------------
+# The aot tier fuses these into its dataflow graph (constant-folding
+# through them where operands are static), instead of falling back to
+# one bound-lambda call per instruction; the fallback would also make
+# the compiled artifact non-persistable (docs/SIMULATOR.md).  Same
+# algebra as the jit templates above; the four-way differential suite
+# pins all tiers to the reference semantics.
+
+register_aot_expr("maddlu", "r4", "({a} * {b} + {c}) & M")
+register_aot_expr("maddhu", "r4", "({a} * {b} + {c}) >> 64")
+register_aot_expr(
+    "madd57lu", "r4", f"(({{a}} * {{b}} & {MASK57}) + {{c}}) & M")
+register_aot_expr(
+    "madd57hu", "r4",
+    f"(((({{a}} * {{b}}) >> {REDUCED_RADIX_BITS}) & M) + {{c}}) & M")
+register_aot_expr("cadd", "r4", "((({a} + {b}) >> 64) + {c}) & M")
+# x + EXTS(y >> imm): {sb} is the signed reinterpretation of rs2
+register_aot_expr("sraiadd", "ria", "({a} + ({sb} >> {sh})) & M")

@@ -19,7 +19,10 @@ installs the corruption:
   ``poisoned_cycles``) is applied in the same arming step: the jit
   image is the same cached execution state in another form, so a fault
   that corrupts the trace must reach it too, or jit runs would sail
-  straight past the armed fault;
+  straight past the armed fault.  A live **aot tier** is dropped in
+  the same arming step (its liveness guard trips and runs demote onto
+  the poisoned jit function), so the fault is observable from the top
+  of the aot → jit → replay → interpreter ladder down;
 * ``output_corrupt`` installs a one-shot hook on the runner's result
   read-out seam, perturbing what the caller sees independently of the
   engine.
@@ -128,13 +131,55 @@ def _poison_jit(machine, entry: int, poison) -> Callable[[], None]:
     return restore
 
 
-def _restore_trace(machine, entry: int, original, restore_jit=None):
+def _ensure_demotion_jit(runner: KernelRunner) -> None:
+    """Force-compile the jit rung for an aot runner before poisoning.
+
+    aot runners skip eager jit compilation (it would re-trace and
+    defeat the artifact warm start), but a poisoned aot tier demotes
+    onto the jit rung — so the jit function must exist *now*, built
+    from the still-healthy trace, for the poisoning below to reach it.
+    """
+    if runner.engine == "aot":
+        runner.machine._jit_for(runner.entry)
+
+
+def _poison_aot(machine, entry: int) -> Callable[[], None]:
+    """Take the live aot tier for *entry* out while a fault is armed.
+
+    The fused aot thunk computes results from the expression graph —
+    it never consults ``trace.steps`` — so poisoning the trace cannot
+    reach it; symmetry demands the tier be dropped instead: the entry
+    thunk's liveness guard trips, runs demote onto the (poisoned) jit
+    function, and the armed fault is visible from every tier.  The
+    entry also joins ``_aot_rejected`` so nothing recompiles a
+    *healthy* aot function from the untouched ``step_instructions``
+    while the fault is armed."""
+    entry_fn = machine._aot_entry_cache.pop(entry, None)
+    aotfn = machine._aot_cache.pop(entry, None)
+    was_rejected = entry in machine._aot_rejected
+    machine._aot_rejected.add(entry)
+
+    def restore() -> None:
+        if entry_fn is not None:
+            machine._aot_entry_cache[entry] = entry_fn
+        if aotfn is not None:
+            machine._aot_cache[entry] = aotfn
+        if not was_rejected:
+            machine._aot_rejected.discard(entry)
+
+    return restore
+
+
+def _restore_trace(machine, entry: int, original, restore_jit=None,
+                   restore_aot=None):
     def disarm() -> None:
         # harmless if recovery already rebuilt the runner: the poisoned
         # machine is unreachable then, and restoring it changes nothing
         machine._trace_cache[entry] = original
         if restore_jit is not None:
             restore_jit()
+        if restore_aot is not None:
+            restore_aot()
 
     return disarm
 
@@ -185,6 +230,7 @@ def arm_fault(runner: KernelRunner, site: FaultSite) -> ArmedFault:
 
     if kind == SITE_REPLAY_SKIP:
         machine, trace = _poisoned_trace(runner)
+        _ensure_demotion_jit(runner)
         k = site.step % len(trace.steps)
         steps = trace.steps[:k] + trace.steps[k + 1:]
         machine._trace_cache[runner.entry] = replace(trace, steps=steps)
@@ -193,15 +239,17 @@ def arm_fault(runner: KernelRunner, site: FaultSite) -> ArmedFault:
             lambda jitfn: (poisoned_skip(jitfn, k)
                            if k < len(jitfn.blocks) else jitfn),
         )
+        restore_aot = _poison_aot(machine, runner.entry)
         return ArmedFault(
             site=site, kernel=kernel,
             description=f"skip replay step {k}/{len(trace.steps)}",
             disarm=_restore_trace(machine, runner.entry, trace,
-                                  restore_jit),
+                                  restore_jit, restore_aot),
         )
 
     if kind == SITE_REPLAY_CLOSURE:
         machine, trace = _poisoned_trace(runner)
+        _ensure_demotion_jit(runner)
         candidates = _write_candidates(runner)
         if not candidates:
             raise FaultError(f"{kernel}: no register-write sites")
@@ -222,16 +270,18 @@ def arm_fault(runner: KernelRunner, site: FaultSite) -> ArmedFault:
             lambda jitfn: (poisoned_xor(jitfn, k, reg, mask)
                            if k < len(jitfn.blocks) else jitfn),
         )
+        restore_aot = _poison_aot(machine, runner.entry)
         return ArmedFault(
             site=site, kernel=kernel,
             description=(f"replay step {k} additionally flips bit "
                          f"{site.bit % 64} of x{reg}"),
             disarm=_restore_trace(machine, runner.entry, trace,
-                                  restore_jit),
+                                  restore_jit, restore_aot),
         )
 
     if kind == SITE_REPLAY_CYCLES:
         machine, trace = _poisoned_trace(runner)
+        _ensure_demotion_jit(runner)
         if trace.cycles is None:
             raise FaultError(
                 f"{kernel}: trace has no static cycle count to corrupt"
@@ -246,12 +296,13 @@ def arm_fault(runner: KernelRunner, site: FaultSite) -> ArmedFault:
             machine, runner.entry,
             lambda jitfn: poisoned_cycles(jitfn, corrupted),
         )
+        restore_aot = _poison_aot(machine, runner.entry)
         return ArmedFault(
             site=site, kernel=kernel,
             description=(f"static cycle count {trace.cycles} -> "
                          f"{corrupted}"),
             disarm=_restore_trace(machine, runner.entry, trace,
-                                  restore_jit),
+                                  restore_jit, restore_aot),
         )
 
     if kind == SITE_OUTPUT_CORRUPT:

@@ -11,8 +11,13 @@ pipeline walker exactly once per kernel instead of once per field
 operation.  ``engine="jit"`` goes one tier further
 (:mod:`repro.rv64.jit`): the compiled trace is code-generated into a
 single Python function per kernel, removing the per-step closure
-dispatch as well.  Both fast tiers are bit- and cycle-identical to the
-interpreter (proven operand-by-operand by ``tests/differential/``);
+dispatch as well.  ``engine="aot"`` is the top tier
+(:mod:`repro.rv64.aot`): the whole trace is fused into limb-level
+wide-int arithmetic over the operand values — no per-instruction
+statements, no memory marshalling — and warm-starts from the
+persistent on-disk artifact cache (:mod:`repro.rv64.artifacts`)
+without re-tracing.  Every fast tier is bit- and cycle-identical to
+the interpreter (proven operand-by-operand by ``tests/differential/``);
 pass ``cross_check=True`` to route every operation through the full
 interpreter with per-run golden-reference verification instead — the
 slow, belt-and-braces mode for debugging new kernels or pipelines.
@@ -222,7 +227,8 @@ class SimulatedFieldContext(FieldContext):
         for slot in slots:
             runner = getattr(self, slot)
             name = runner.kernel.name
-            # drops the cached trace AND any compiled jit function
+            # drops the cached trace, any compiled jit/aot function,
+            # and the entry's on-disk aot artifact
             runner.machine.invalidate_trace(runner.entry)
             registry.evict_runner(self.p, name, self._pipeline_config,
                                   checked=True, engine=self.engine,

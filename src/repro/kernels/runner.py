@@ -14,12 +14,17 @@ runner can execute it through the fast execution tiers: ``engine=
 a compiled closure trace (:mod:`repro.rv64.replay`); ``engine="jit"``
 code-generates that trace into a single Python function
 (:mod:`repro.rv64.jit`) that the runner calls directly — no
-per-instruction dispatch of any kind.  Both tiers return bit-identical
-limbs and the identical cycle count (``tests/differential/`` proves the
-three-way equivalence for every kernel variant), and both demote down
-the jit → replay → interpreter ladder whenever their preconditions fail
-(:class:`~repro.rv64.jit.JitError` refusals, non-replayable programs,
-cache-enabled timing, attached trace hooks).
+per-instruction dispatch of any kind; ``engine="aot"`` fuses the whole
+trace into limb-level wide-int arithmetic (:mod:`repro.rv64.aot`) and
+can warm-start from the persistent on-disk artifact cache
+(:mod:`repro.rv64.artifacts`) without re-tracing at all.  Every tier
+returns bit-identical limbs and the identical cycle count
+(``tests/differential/`` proves the four-way equivalence for every
+kernel variant), and all demote down the aot → jit → replay →
+interpreter ladder whenever their preconditions fail
+(:class:`~repro.rv64.aot.AotError` / :class:`~repro.rv64.jit.JitError`
+refusals, non-replayable programs, cache-enabled timing, attached
+trace hooks).
 
 :meth:`KernelRunner.run_batch` executes one kernel over many operand
 sets in a single call, amortising the per-call setup (engine
@@ -129,6 +134,7 @@ class KernelRunner:
             )
         self.kernel = kernel
         self.engine = engine
+        self._pipeline_config = pipeline_config
         # legacy alias kept for callers that predate the engine ladder
         self.replay = engine != "interpreter"
         # hardening state (checked mode + fault-injection seam); None
@@ -163,6 +169,7 @@ class KernelRunner:
         # run_batch (False = build attempted, layout unspecialisable).
         self._entry_thunk = None
         self._replay_thunk = None
+        self._aot_thunk = None
         if engine == "jit":
             # compile eagerly: the pool hands out ready runners, and
             # fault campaigns arm against a live compiled function
@@ -178,8 +185,93 @@ class KernelRunner:
                     radix=kernel.context.radix,
                     stack_top=DEFAULT_STACK_TOP,
                 )
+        elif engine == "aot":
+            # warm-start if the artifact cache has this kernel; only
+            # then fall back to trace + fuse (and persist the result).
+            # The jit rung is deliberately NOT precompiled here — it
+            # would need the trace, defeating the warm start; fault
+            # campaigns force-compile it at arm time instead.
+            self._init_aot(schedule=schedule)
         if checked:
             self.enable_checked(check_interval)
+
+    def _init_aot(self, *, schedule: bool) -> None:
+        """Bind or build the fused aot entry thunk (constructor helper).
+
+        Resolution order: validated on-disk artifact (no re-tracing) →
+        whole-kernel fusion of a fresh trace (persisted for the next
+        process, when the source is artifact-safe) → rejection (the
+        entry demotes to the jit rung on first run).  List-scheduled
+        runners execute a *different* program than the kernel source
+        hashes to, so they bypass the disk cache entirely.
+        """
+        from time import perf_counter
+
+        from repro.rv64.aot import AotError, bind_entry_source, \
+            compile_aot_entry
+        from repro.rv64.artifacts import (
+            invalidate_artifact,
+            load_artifact,
+            make_key,
+            store_artifact,
+        )
+
+        kernel = self.kernel
+        machine = self.machine
+        entry = self.entry
+        key = None if schedule else make_key(
+            kernel, self._pipeline_config)
+        aot = None
+        if key is not None:
+            payload = load_artifact(key)
+            if payload is not None and payload["entry"] == entry:
+                try:
+                    aot = bind_entry_source(
+                        machine, entry, payload["source"],
+                        cycles=payload["cycles"],
+                        instructions=payload["instructions"],
+                        halts=payload["halts"],
+                        exit_pc=payload["exit_pc"],
+                    )
+                except AotError:
+                    # a valid-looking artifact that will not bind is
+                    # stale in a way the digest cannot see; drop it
+                    # and fall through to a cold compile
+                    invalidate_artifact(key)
+                    aot = None
+        fresh = aot is None
+        if fresh:
+            layout = ConstPoolLayout(kernel.context.radix.limbs)
+            start = perf_counter()
+            try:
+                aot = compile_aot_entry(
+                    machine, entry,
+                    arg_plan=self._arg_plan,
+                    result_reg=self._result_reg,
+                    result_addr=RESULT_ADDR,
+                    out_limbs=kernel.output_limbs,
+                    radix=kernel.context.radix,
+                    const_window=(CONST_BASE, layout.size_bytes),
+                    stack_top=DEFAULT_STACK_TOP,
+                )
+            except AotError as exc:
+                telemetry.record_aot_reject(exc.reason)
+                machine._aot_rejected.add(entry)
+                return
+            telemetry.record_aot_compile(perf_counter() - start)
+        machine._aot_entry_cache[entry] = aot
+        machine.aot_disk_key = key
+        self._aot_thunk = aot.fn
+        if fresh and key is not None and aot.persistable:
+            store_artifact(
+                key,
+                entry=entry,
+                source=aot.source,
+                cycles=aot.cycles,
+                instructions=aot.instructions_retired,
+                halts=aot.halts,
+                exit_pc=aot.exit_pc,
+            )
 
     # -- hardened execution (checked mode + fault seam) ---------------------
 
@@ -268,14 +360,18 @@ class KernelRunner:
         return self._static_size
 
     def _resolve_engine(self, engine: str) -> str:
-        """Walk the jit -> replay -> interpreter demotion ladder.
+        """Walk the aot -> jit -> replay -> interpreter demotion ladder.
 
         Each rung demotes exactly one step when its precondition fails;
-        jit demotions are counted (``jit_demotions_total``), the
-        replay -> interpreter step keeps its PR-1 behaviour (silent
-        here; :meth:`Machine.run` records the per-run fallback).
+        aot and jit demotions are counted (``aot_demotions_total`` /
+        ``jit_demotions_total``), the replay -> interpreter step keeps
+        its PR-1 behaviour (silent here; :meth:`Machine.run` records
+        the per-run fallback).
         """
         machine = self.machine
+        if engine == "aot" and not machine.aot_supported(self.entry):
+            telemetry.record_aot_demotion("not_compilable")
+            engine = "jit"
         if engine == "jit" and not machine.jit_supported(self.entry):
             telemetry.record_jit_demotion("not_compilable")
             engine = "replay"
@@ -313,6 +409,20 @@ class KernelRunner:
         fault-campaign poisoning) takes effect immediately.
         """
         machine = self.machine
+        if engine == "aot" and not machine._trace_hooks:
+            # the machine-level fused function: memory-exact (runtime
+            # stores), so the generic read-out below it still holds —
+            # this is the hardened/fallback aot path, not the thunk
+            aotfn = machine._aot_for(self.entry)
+            if aotfn is not None:
+                state = machine.state
+                aotfn.fn(state.regs._regs, DEFAULT_STACK_TOP)
+                state.pc = aotfn.exit_pc
+                state.halted = aotfn.halts
+                telemetry.record_machine_run("aot")
+                return "aot", aotfn.cycles, aotfn.instructions_retired
+            telemetry.record_aot_demotion("not_compilable")
+            engine = "jit"
         if engine == "jit" and not machine._trace_hooks:
             jitfn = machine._jit_for(self.entry)
             if jitfn is not None:
@@ -339,7 +449,7 @@ class KernelRunner:
         ``"replay"`` and ``False`` to ``"interpreter"``).  Whatever the
         tier, the result is bit- and cycle-identical to the
         interpreter's, just cheaper to produce; unsatisfiable requests
-        demote down the jit -> replay -> interpreter ladder.
+        demote down the aot -> jit -> replay -> interpreter ladder.
         """
         kernel = self.kernel
         if len(values) != len(kernel.input_limbs):
@@ -359,6 +469,44 @@ class KernelRunner:
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
 
+        if (engine == "aot" and self._hardening is None
+                and not machine._trace_hooks):
+            # whole-kernel fast path: the fused thunk computes the
+            # result limbs directly from the operand values — no limb
+            # marshalling, no memory traffic, no per-instruction
+            # statements; falls through (None) if the thunk was
+            # evicted/poisoned or an operand is out of range
+            thunk = self._aot_thunk
+            if thunk is not None:
+                out = thunk(*values)
+                if out is not None:
+                    value, out_limbs, cycles, instructions = out
+                    telemetry.record_aot_cache_hit()
+                    telemetry.record_machine_run("aot")
+                    if check:
+                        expected = kernel.reference(*values)
+                        if value != expected:
+                            telemetry.record_kernel_check_failure(
+                                kernel.name)
+                            raise KernelError(
+                                f"{kernel.name} produced {value:#x}, "
+                                f"expected {expected:#x} for inputs "
+                                f"{[hex(v) for v in values]}"
+                            )
+                    if cycles is None:
+                        raise KernelError(
+                            f"{kernel.name}: execution produced no "
+                            f"cycle count (the runner's machine lost "
+                            f"its pipeline model)"
+                        )
+                    telemetry.record_kernel_run(
+                        kernel.name, "aot", cycles, instructions)
+                    return KernelRun(
+                        value=value,
+                        limbs=out_limbs,
+                        instructions=instructions,
+                        cycles=cycles,
+                    )
         if (engine == "jit" and self._hardening is None
                 and not machine._trace_hooks):
             # fused fast path: one generated thunk does limb split,
@@ -520,7 +668,9 @@ class KernelRunner:
         reference = kernel.reference if check else None
         record_run = telemetry.record_kernel_run
         record_machine = telemetry.record_machine_run
-        if engine == "jit":
+        if engine == "aot":
+            thunk = self._aot_thunk
+        elif engine == "jit":
             thunk = self._entry_thunk
         else:
             thunk = self._replay_thunk
@@ -568,6 +718,8 @@ class KernelRunner:
                     )
                 if engine == "jit":
                     telemetry.record_jit_cache_hit()
+                elif engine == "aot":
+                    telemetry.record_aot_cache_hit()
                 record_machine(engine)
                 record_run(name, engine, cycles, instructions)
                 runs.append(KernelRun(
@@ -578,7 +730,20 @@ class KernelRunner:
                 ))
             telemetry.record_kernel_batch(name, engine, len(runs))
             return runs
-        if engine == "jit":
+        if engine == "aot":
+            # memory-exact machine-level variant (the entry thunk is
+            # absent here, e.g. the fuse was rejected for the thunk's
+            # stricter static-addressing contract)
+            aotfn = (machine._aot_cache.get(self.entry)
+                     or machine._aot_for(self.entry))
+            fn = aotfn.fn
+            cycles = aotfn.cycles
+            instructions = aotfn.instructions_retired
+            exit_pc, halts = aotfn.exit_pc, aotfn.halts
+
+            def execute() -> None:
+                fn(regs, DEFAULT_STACK_TOP)
+        elif engine == "jit":
             jitfn = (machine._jit_cache.get(self.entry)
                      or machine._jit_for(self.entry))
             fn = jitfn.fn

@@ -1,0 +1,879 @@
+"""AOT whole-kernel compilation: fuse a trace into limb arithmetic.
+
+The fourth (fastest) execution tier.  The jit tier
+(:mod:`repro.rv64.jit`) already collapsed per-step closure dispatch,
+but it still emits **one Python statement per traced instruction**:
+every ``maddlu``/``maddhu``/carry chain pays a statement boundary, a
+local-variable store and (for loads/stores) a page branch, even though
+the whole kernel is one pure dataflow graph over the operand values.
+
+:func:`compile_aot_entry` removes that too.  It *symbolically executes*
+the replay trace over expression nodes instead of integers:
+
+* the operand buffers become whole-operand atoms (``v0``, ``v1``);
+  ``ld`` from an operand span folds into the limb-extraction expression
+  ``(v0 >> bits*k) & mask``, ``ld`` from the (write-once) constant pool
+  folds into the concrete constant, and ``sd``/``ld`` pairs within the
+  run are store-forwarded symbolically — **no memory traffic at all**;
+* every ALU/ISE instruction applies its expression template to the
+  operand *nodes*, constant-folding wherever all inputs are static, so
+  address arithmetic, ``lui``/``auipc`` chains and mask setup vanish
+  from the generated code;
+* the surviving dataflow — the multiply-accumulate spine of the kernel
+  — is emitted as a handful of fused wide-int expressions (common
+  subexpressions materialise as temporaries, deep chains are cut at a
+  depth cap to stay inside CPython's parser limits);
+* the full 32-register writeback, architectural ``pc``/``halted`` and
+  the trace's **precomputed static cycle accounting** are attached
+  verbatim, so the differential suite's register-file comparison and
+  the golden cycle snapshot hold bit-for-bit (the same contract as the
+  jit tier, see ``tests/differential/``).
+
+Expression semantics come from the *same* template table as the jit
+tier (:data:`repro.rv64.jit._ALU_R_EXPR` / ``_ALU_I_EXPR`` are imported,
+not re-typed) and extension packages register theirs via
+:func:`register_expr` — one algebra, three tiers, no drift.  Anything
+without a template falls back to the *extracted* interpreter ``op``
+lambda bound into the namespace (correct, but it marks the artifact
+non-persistable: a bound lambda cannot round-trip through the disk
+cache).
+
+:func:`compile_aot` is the machine-level variant behind
+``Machine.run(engine="aot")``: same symbolic core, but memory accesses
+stay *runtime effects* (emitted in program order against the machine's
+real memory), so the generic runner paths — hardened mode, fault
+hooks, histogram collection — read results out of memory exactly as
+they do for every other engine.
+
+Compiled entry thunks serialise to **source text plus static costs**;
+:mod:`repro.rv64.artifacts` persists them on disk keyed by (kernel,
+modulus, pipeline, code hash) and :func:`bind_entry_source` re-binds a
+loaded artifact to a fresh machine without re-tracing — the warm-start
+path of ``repro serve`` and the shard scheduler's pre-fork warmup.
+
+Compilation *refuses* with :class:`AotError` (``reason`` is one of
+:data:`AotError.REASONS`) whenever whole-kernel fusion cannot be proven
+exact: no replay trace, an instruction without a template or extracted
+lambda, a data-dependent address, a memory access outside the
+forwardable regions, or a codegen failure.  Callers demote one rung
+down the aot → jit → replay → interpreter ladder
+(see ``docs/ROBUSTNESS.md``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.rv64.bits import MASK64, s32, u64
+from repro.rv64.isa import FMT_I, FMT_I_SHIFT, FMT_R
+from repro.rv64.jit import _ALU_I_EXPR, _ALU_R_EXPR
+from repro.rv64.machine import DEFAULT_STACK_TOP, HALT_ADDRESS
+from repro.rv64.replay import _extract_alu_op
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rv64.machine import Machine
+
+
+class AotError(SimulationError):
+    """The trace cannot be fused into a whole-kernel aot function.
+
+    ``reason`` is a short machine-readable code used by telemetry's
+    ``aot_rejects_total{reason=...}`` counter; the caller demotes to
+    the jit tier (which may itself demote further down the ladder).
+    """
+
+    code = "aot"
+
+    #: Every reason aot compilation can refuse with (mirrored by the
+    #: demotion tests in ``tests/test_replay_fallback.py``).
+    REASONS = ("not_replayable", "unsupported_op", "dynamic_address",
+               "unsupported_access", "codegen_error")
+
+    def __init__(self, message: str, *, reason: str = "other") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+#: Run-level demotion reasons recorded by ``aot_demotions_total``:
+#: the compile refusals surface as ``not_compilable`` plus the same
+#: situational demotions the jit tier knows.
+DEMOTION_REASONS = ("not_compilable", "trace_hooks", "no_setup_return")
+
+
+# ---------------------------------------------------------------------------
+# Expression nodes
+# ---------------------------------------------------------------------------
+
+#: Emitted chains of single-use nodes are cut into temporaries at this
+#: nesting depth: CPython's parser and its recursive expression
+#: evaluator both dislike thousand-deep parenthesis towers.
+_DEPTH_CAP = 24
+
+#: Recursion headroom for rendering very long dependence chains (one
+#: temporary materialisation per node still recurses through the
+#: emitter); RecursionError beyond this demotes to the jit tier.
+_RECURSION_LIMIT = 10_000
+
+_FOLD_GLOBALS = {"__builtins__": {}, "M": MASK64}
+
+
+class _Node:
+    """One SSA value: a constant, an input atom, or an operation.
+
+    ``template`` is a positional format string (``"({0} + {1}) & M"``)
+    over ``children``; duplicate children encode multiplicity.  Exactly
+    one of (``const``, ``name``, ``template``) is set.
+    """
+
+    __slots__ = ("template", "children", "const", "name")
+
+    def __init__(self, template, children, const, name) -> None:
+        self.template = template
+        self.children = children
+        self.const = const
+        self.name = name
+
+
+def _const(value: int) -> _Node:
+    return _Node(None, (), value, None)
+
+
+def _atom(name: str) -> _Node:
+    return _Node(None, (), None, name)
+
+
+def _lit(value: int) -> str:
+    """Literal rendering (hex above 16 keeps masks/addresses legible)."""
+    return hex(value) if value >= 16 else repr(value)
+
+
+def _op(template: str, children: tuple) -> _Node:
+    """Operation node with constant folding over all-static inputs."""
+    for child in children:
+        if child.const is None:
+            return _Node(template, children, None, None)
+    rendered = template.format(*[_lit(c.const) for c in children])
+    try:
+        value = eval(rendered, dict(_FOLD_GLOBALS))
+    except Exception as exc:  # pragma: no cover - templates are total
+        raise AotError(
+            f"constant fold of {rendered!r} failed: {exc}",
+            reason="codegen_error",
+        ) from exc
+    return _const(value)
+
+
+# ---------------------------------------------------------------------------
+# Expression registry (shared algebra with the jit templates)
+# ---------------------------------------------------------------------------
+
+#: ``mnemonic -> (kind, expr)``; kind is one of ``"r"`` ({a}/{b}),
+#: ``"i"`` ({a}/{imm}/{uimm}/{sh}), ``"r4"`` ({a}/{b}/{c}),
+#: ``"ria"`` ({a}/{sb}/{sh}).  ``{sa}``/``{sb}`` expand to the signed
+#: reinterpretation of {a}/{b} before positionalisation.
+_EXPRS: dict[str, tuple[str, str]] = {}
+
+_EXPR_KINDS = ("r", "i", "r4", "ria")
+
+
+def register_expr(mnemonic: str, kind: str, expr: str) -> None:
+    """Register an aot expression for *mnemonic* (idempotent).
+
+    Extension packages (e.g. :mod:`repro.core.ise`) use this to fuse
+    their custom instructions into the dataflow graph; unregistered
+    mnemonics fall back to the extracted interpreter lambda (one call
+    per instruction, and the artifact becomes non-persistable), so
+    registration is a performance *and* cacheability optimisation.
+    """
+    if kind not in _EXPR_KINDS:
+        raise AotError(f"unknown expression kind {kind!r}",
+                       reason="codegen_error")
+    _EXPRS.setdefault(mnemonic, (kind, expr))
+
+
+for _mnemonic, _expr in _ALU_R_EXPR.items():
+    register_expr(_mnemonic, "r", _expr)
+for _mnemonic, _expr in _ALU_I_EXPR.items():
+    register_expr(_mnemonic, "i", _expr)
+# addiw shows up in generated address arithmetic on some variants; its
+# sign-extended 32-bit wrap keeps the artifact persistable where the
+# extracted-lambda fallback would not.
+register_expr(
+    "addiw", "i",
+    "(((({a} + {imm}) & 0xffffffff) ^ 0x80000000) - 0x80000000) & M")
+
+_SIGNED_A = "({a} - (({a} >> 63) << 64))"
+_SIGNED_B = "({b} - (({b} >> 63) << 64))"
+
+_FIELD_RE = re.compile(r"\{(\w+)\}")
+
+
+def _build_expr(expr: str, operands: dict, scalars: dict) -> _Node:
+    """Positionalise *expr* over operand nodes and scalar literals."""
+    expr = expr.replace("{sa}", _SIGNED_A).replace("{sb}", _SIGNED_B)
+    children: list[_Node] = []
+
+    def substitute(match: re.Match) -> str:
+        field = match.group(1)
+        node = operands.get(field)
+        if node is not None:
+            children.append(node)
+            return "{%d}" % (len(children) - 1)
+        value = scalars[field]
+        return str(value) if value >= 0 else f"({value})"
+
+    template = _FIELD_RE.sub(substitute, expr)
+    return _op(template, tuple(children))
+
+
+# ---------------------------------------------------------------------------
+# Memory models
+# ---------------------------------------------------------------------------
+
+class _ConcreteMemory:
+    """Compile-time memory for the fused entry thunk.
+
+    Stores are forwarded symbolically (``{address: node}``); loads
+    resolve to a forwarded store, a limb extraction from an operand
+    atom, or a concrete constant from the write-once constant pool.
+    Anything else refuses: a data-dependent address, a sub-word or
+    misaligned access, or a read of memory whose content varies between
+    runs (scratch before its first store, the previous run's result).
+    """
+
+    def __init__(self, mem, arg_plan, operand_atoms, bits: int,
+                 const_window: tuple[int, int]) -> None:
+        self._mem = mem
+        self._spans = tuple(
+            (address, limbs) for address, limbs, _reg in arg_plan)
+        self._operands = tuple(operand_atoms)
+        self._bits = bits
+        self._mask = (1 << bits) - 1
+        self._const_base, self._const_size = const_window
+        self.stores: dict[int, _Node] = {}
+
+    def _address(self, node: _Node, what: str) -> int:
+        if node.const is None:
+            raise AotError(
+                f"{what} address is data-dependent; whole-kernel "
+                f"fusion needs static addressing",
+                reason="dynamic_address",
+            )
+        address = node.const
+        if address & 7:
+            raise AotError(
+                f"misaligned {what} at {address:#x}",
+                reason="unsupported_access",
+            )
+        return address
+
+    def load(self, address_node: _Node, size: int, signed: bool,
+             rd: int) -> _Node:
+        if size != 8 or signed:
+            raise AotError(
+                f"{size}-byte load: only aligned ld/sd fuse",
+                reason="unsupported_access",
+            )
+        address = self._address(address_node, "load")
+        forwarded = self.stores.get(address)
+        if forwarded is not None:
+            return forwarded
+        for index, (base, limbs) in enumerate(self._spans):
+            if base <= address < base + 8 * limbs:
+                shift = self._bits * ((address - base) // 8)
+                atom = self._operands[index]
+                if shift == 0:
+                    return _op(f"{{0}} & {_lit(self._mask)}", (atom,))
+                return _op(
+                    f"({{0}} >> {shift}) & {_lit(self._mask)}", (atom,))
+        if (self._const_base <= address
+                and address + 8 <= self._const_base + self._const_size):
+            return _const(self._mem.load(address, 8))
+        raise AotError(
+            f"load at {address:#x} outside the operand spans, the "
+            f"constant pool, and the run's own stores (content is not "
+            f"a static property of the kernel)",
+            reason="unsupported_access",
+        )
+
+    def store(self, address_node: _Node, value_node: _Node,
+              size: int) -> None:
+        if size != 8:
+            raise AotError(
+                f"{size}-byte store: only aligned ld/sd fuse",
+                reason="unsupported_access",
+            )
+        address = self._address(address_node, "store")
+        if (self._const_base <= address
+                < self._const_base + self._const_size):
+            raise AotError(
+                f"store into the constant pool at {address:#x} breaks "
+                f"the write-once assumption concrete reads rely on",
+                reason="unsupported_access",
+            )
+        self.stores[address] = value_node
+
+    def result_limbs(self, result_addr: int, out_limbs: int) -> list:
+        nodes = []
+        for index in range(out_limbs):
+            node = self.stores.get(result_addr + 8 * index)
+            if node is None:
+                raise AotError(
+                    f"result limb {index} is never stored; cannot "
+                    f"prove the read-out",
+                    reason="unsupported_access",
+                )
+            nodes.append(node)
+        return nodes
+
+
+class _RuntimeMemory:
+    """Program-order memory effects for the machine-level variant.
+
+    Loads and stores stay *runtime* statements against the machine's
+    real memory (``effects`` is consumed in order by the emitter);
+    loads define fresh SSA atoms, so later register dataflow is exact
+    regardless of interleaved stores.
+    """
+
+    def __init__(self) -> None:
+        self.effects: list[tuple] = []
+        self._loads = 0
+
+    def load(self, address_node: _Node, size: int, signed: bool,
+             rd: int) -> _Node | None:
+        if rd == 0:
+            self.effects.append(
+                ("load", address_node, size, signed, None))
+            return None
+        name = f"_m{self._loads}"
+        self._loads += 1
+        self.effects.append(("load", address_node, size, signed, name))
+        return _atom(name)
+
+    def store(self, address_node: _Node, value_node: _Node,
+              size: int) -> None:
+        self.effects.append(("store", address_node, value_node, size))
+
+
+# ---------------------------------------------------------------------------
+# Symbolic execution
+# ---------------------------------------------------------------------------
+
+_LOAD_SIZES = {"ld": (8, False), "lb": (1, True), "lbu": (1, False),
+               "lh": (2, True), "lhu": (2, False), "lw": (4, True),
+               "lwu": (4, False)}
+_STORE_SIZES = {"sd": 8, "sb": 1, "sh": 2, "sw": 4}
+
+
+class _SymbolicRun:
+    """Step the trace's instructions over expression nodes."""
+
+    def __init__(self, regs: list, memory) -> None:
+        self.regs = regs
+        self.memory = memory
+        self.calls: dict[str, Callable] = {}
+        self.persistable = True
+
+    def _write(self, rd: int, node: _Node) -> None:
+        if rd != 0:  # x0 is hard-wired (replay drops these anyway)
+            self.regs[rd] = node
+
+    def _address_node(self, ins) -> _Node:
+        base = self.regs[ins.rs1]
+        if ins.imm == 0:
+            return base
+        return _op(f"({{0}} + {ins.imm}) & M", (base,))
+
+    def _call(self, fn: Callable, children: tuple) -> _Node:
+        if all(child.const is not None for child in children):
+            return _const(fn(*[child.const for child in children]))
+        self.persistable = False  # bound lambdas cannot round-trip
+        name = f"_xop{len(self.calls)}"
+        self.calls[name] = fn
+        args = ", ".join("{%d}" % i for i in range(len(children)))
+        return _op(f"{name}({args})", children)
+
+    def step(self, pc: int, ins, spec) -> None:
+        regs = self.regs
+        mnemonic = ins.mnemonic
+        if mnemonic == "lui":
+            self._write(ins.rd, _const(u64(s32(ins.imm << 12))))
+            return
+        if mnemonic == "auipc":
+            self._write(ins.rd, _const(u64(pc + s32(ins.imm << 12))))
+            return
+        load_shape = _LOAD_SIZES.get(mnemonic)
+        if load_shape is not None:
+            size, signed = load_shape
+            node = self.memory.load(
+                self._address_node(ins), size, signed, ins.rd)
+            if node is not None:
+                self._write(ins.rd, node)
+            return
+        store_size = _STORE_SIZES.get(mnemonic)
+        if store_size is not None:
+            self.memory.store(
+                self._address_node(ins), regs[ins.rs2], store_size)
+            return
+        entry = _EXPRS.get(mnemonic)
+        if entry is not None:
+            kind, expr = entry
+            if mnemonic == "addi" and ins.imm == 0:
+                self._write(ins.rd, regs[ins.rs1])  # mv
+                return
+            if kind == "r":
+                node = _build_expr(
+                    expr, {"a": regs[ins.rs1], "b": regs[ins.rs2]}, {})
+            elif kind == "i":
+                node = _build_expr(
+                    expr, {"a": regs[ins.rs1]},
+                    {"imm": ins.imm, "uimm": u64(ins.imm),
+                     "sh": ins.imm & 63})
+            elif kind == "r4":
+                node = _build_expr(
+                    expr,
+                    {"a": regs[ins.rs1], "b": regs[ins.rs2],
+                     "c": regs[ins.rs3]}, {})
+            else:  # "ria"
+                node = _build_expr(
+                    expr, {"a": regs[ins.rs1], "b": regs[ins.rs2]},
+                    {"sh": ins.imm & 63})
+            self._write(ins.rd, node)
+            return
+        # no template: bind the extracted interpreter lambda so the
+        # fused function keeps interpreter semantics by construction
+        op = _extract_alu_op(spec)
+        if op is not None:
+            if spec.fmt == FMT_R:
+                node = self._call(op, (regs[ins.rs1], regs[ins.rs2]))
+            elif spec.fmt in (FMT_I, FMT_I_SHIFT):
+                node = self._call(op, (regs[ins.rs1], _const(ins.imm)))
+            else:
+                raise AotError(
+                    f"no aot expression for {mnemonic} ({spec.fmt})",
+                    reason="unsupported_op",
+                )
+            self._write(ins.rd, node)
+            return
+        raise AotError(
+            f"no aot expression for {mnemonic} at {pc:#x}; "
+            f"whole-kernel fusion cannot represent it",
+            reason="unsupported_op",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+def _count_uses(roots: list) -> dict[int, int]:
+    """DAG edge counts from *roots* (each root occurrence is a use)."""
+    uses: dict[int, int] = {}
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        key = id(node)
+        if key in uses:
+            uses[key] += 1
+            continue
+        uses[key] = 1
+        if node.children:
+            stack.extend(node.children)
+    return uses
+
+
+class _Emitter:
+    """Render nodes to statements: temps for shared/deep subtrees.
+
+    Every inlined non-atom subexpression is parenthesised — templates
+    embed children at arbitrary precedence (ternaries inside masked
+    sums), so the parens are load-bearing, not cosmetic.
+    """
+
+    def __init__(self, uses: dict[int, int]) -> None:
+        self.uses = uses
+        self.names: dict[int, str] = {}
+        self.lines: list[str] = []
+        self._temps = 0
+
+    def ref(self, node: _Node, depth: int = 0) -> str:
+        if node.const is not None:
+            return _lit(node.const)
+        if node.name is not None:
+            return node.name
+        key = id(node)
+        name = self.names.get(key)
+        if name is not None:
+            return name
+        if self.uses.get(key, 1) > 1 or depth >= _DEPTH_CAP:
+            expression = self._render(node, 0)
+            name = f"_t{self._temps}"
+            self._temps += 1
+            self.names[key] = name
+            self.lines.append(f"{name} = {expression}")
+            return name
+        return "(" + self._render(node, depth) + ")"
+
+    def alias(self, node: _Node, name: str) -> None:
+        """Make later references reuse an already-assigned local."""
+        if node.const is None and node.name is None:
+            self.names.setdefault(id(node), name)
+
+    def _render(self, node: _Node, depth: int) -> str:
+        parts = [self.ref(child, depth + 1) for child in node.children]
+        return node.template.format(*parts)
+
+
+def _emit_effects(emitter: _Emitter, effects: list) -> None:
+    """Append the runtime load/store statements in program order."""
+    for effect in effects:
+        if effect[0] == "load":
+            _tag, address_node, size, signed, name = effect
+            address = emitter.ref(address_node)
+            if name is None:  # rd == x0: load for trap semantics only
+                suffix = ", signed=True" if signed else ""
+                emitter.lines.append(f"load({address}, {size}{suffix})")
+            elif size == 8:
+                emitter.lines.append(f"{name} = load({address}, 8)")
+            elif signed:
+                emitter.lines.append(
+                    f"{name} = load({address}, {size}, signed=True) & M")
+            else:
+                emitter.lines.append(
+                    f"{name} = load({address}, {size})")
+        else:
+            _tag, address_node, value_node, size = effect
+            address = emitter.ref(address_node)
+            value = emitter.ref(value_node)
+            emitter.lines.append(f"store({address}, {value}, {size})")
+
+
+def _build(source: str, namespace: dict, *, tag: str,
+           function: str) -> Callable:
+    try:
+        code = compile(source, f"<aot:{tag}>", "exec")
+        scope = dict(namespace)
+        exec(code, scope)
+        return scope[function]
+    except AotError:
+        raise
+    except Exception as exc:
+        raise AotError(
+            f"generated source for {tag} failed to build: {exc}",
+            reason="codegen_error",
+        ) from exc
+
+
+class _deep_recursion:
+    """Headroom for rendering long dependence chains, restored on exit."""
+
+    def __enter__(self) -> None:
+        self._prior = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(self._prior, _RECURSION_LIMIT))
+
+    def __exit__(self, *_exc_info) -> None:
+        sys.setrecursionlimit(self._prior)
+
+
+# ---------------------------------------------------------------------------
+# Compiled artifacts
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AotEntry:
+    """One kernel fused into an entry thunk, plus its static cost.
+
+    ``fn(*operands)`` returns ``(value, limbs, cycles, instructions)``
+    or ``None`` (liveness guard tripped / operand out of range — the
+    caller falls back to the generic path).  ``persistable`` is false
+    when the source references namespace-bound lambdas that cannot
+    round-trip through the on-disk artifact cache.
+    """
+
+    entry: int
+    fn: Callable
+    source: str
+    persistable: bool
+    cycles: int | None
+    instructions_retired: int
+    halts: bool
+    exit_pc: int
+
+
+@dataclass(frozen=True)
+class AotFunction:
+    """The machine-level fused function (``Machine.run(engine="aot")``).
+
+    Mirrors :class:`~repro.rv64.jit.JitFunction`: ``fn(regs,
+    stack_top)`` is memory-exact (runtime stores land in the machine's
+    memory), and the trace's static cost/histogram ride along verbatim.
+    """
+
+    entry: int
+    fn: Callable
+    source: str
+    namespace: dict
+    instructions_retired: int
+    cycles: int | None
+    histogram: Counter
+    halts: bool
+    exit_pc: int
+
+
+# ---------------------------------------------------------------------------
+# Entry-thunk compilation (the KernelRunner fast path)
+# ---------------------------------------------------------------------------
+
+def _trace_or_refuse(machine: Machine, entry: int):
+    trace = machine._trace_for(entry)
+    if trace is None:
+        raise AotError(
+            f"no replay trace for entry {entry:#x}: the aot tier "
+            f"fuses replay traces",
+            reason="not_replayable",
+        )
+    if len(trace.step_instructions) != len(trace.steps):
+        raise AotError(
+            f"trace for {entry:#x} has no step/instruction alignment",
+            reason="codegen_error",
+        )
+    return trace
+
+
+def compile_aot_entry(
+    machine: Machine,
+    entry: int,
+    *,
+    arg_plan,
+    result_reg: int,
+    result_addr: int,
+    out_limbs: int,
+    radix,
+    const_window: tuple[int, int],
+    stack_top: int = DEFAULT_STACK_TOP,
+) -> AotEntry:
+    """Fuse the kernel at *entry* into one whole-kernel entry thunk.
+
+    The generated function takes the operand *values* directly (no limb
+    marshalling, no memory writes, no register zeroing loop), computes
+    the result limbs as fused wide-int expressions, writes the full
+    32-register architectural state back (so the differential suite's
+    register-file comparison holds), sets ``pc``/``halted``, and
+    returns the read-out with the trace's precomputed static cost.
+
+    The liveness guard re-reads ``machine._aot_entry_cache`` on every
+    call: poisoning or invalidation pops the entry, the thunk returns
+    ``None``, and the caller demotes — the same eviction contract as
+    the jit tier's per-call cache fetch.
+    """
+    trace = _trace_or_refuse(machine, entry)
+    bits = radix.bits
+    regs: list[_Node] = [_const(0)] * 32
+    regs[1] = _const(HALT_ADDRESS)
+    regs[2] = _const(stack_top)
+    operand_atoms = []
+    for index, (address, _limbs, reg_index) in enumerate(arg_plan):
+        regs[reg_index] = _const(address)
+        operand_atoms.append(_atom(f"v{index}"))
+    regs[result_reg] = _const(result_addr)
+
+    memory = _ConcreteMemory(
+        machine.state.mem, arg_plan, operand_atoms, bits, const_window)
+    run = _SymbolicRun(regs, memory)
+    with _deep_recursion():
+        try:
+            for pc, ins, spec in trace.step_instructions:
+                run.step(pc, ins, spec)
+            limb_nodes = memory.result_limbs(result_addr, out_limbs)
+
+            roots = list(limb_nodes)
+            roots.extend(run.regs)
+            emitter = _Emitter(_count_uses(roots))
+            for index, node in enumerate(limb_nodes):
+                emitter.lines.append(
+                    f"_w{index} = {emitter.ref(node)}")
+                emitter.alias(node, f"_w{index}")
+            reg_refs = [emitter.ref(node) for node in run.regs]
+        except RecursionError as exc:
+            raise AotError(
+                f"expression graph for {entry:#x} is too deep to "
+                f"render",
+                reason="codegen_error",
+            ) from exc
+
+    args = ", ".join(f"v{i}" for i in range(len(arg_plan)))
+    lines = [
+        f"def __aot_entry({args}, _get=_live.get, _regs=_regs, "
+        f"_st=_st):",
+        f"    if _get({entry}) is None:",
+        "        return None",
+    ]
+    for index, (_address, limbs, _reg_index) in enumerate(arg_plan):
+        lines.append(
+            f"    if v{index} < 0 or (v{index} >> {bits * limbs}):")
+        lines.append("        return None")  # generic path raises
+    for line in emitter.lines:
+        lines.append("    " + line)
+    lines.append(f"    _regs[:] = ({', '.join(reg_refs)})")
+    lines.append(f"    _st.pc = {trace.exit_pc}")
+    lines.append(f"    _st.halted = {trace.halts}")
+    # from_limbs uses addition, not OR: limbs may be non-canonical
+    # (delayed carries) and overlap bit ranges
+    value_expr = " + ".join(
+        f"_w{i}" if i == 0 else f"(_w{i} << {bits * i})"
+        for i in range(out_limbs)
+    )
+    limbs_expr = ("(" + ", ".join(f"_w{i}" for i in range(out_limbs))
+                  + ("," if out_limbs == 1 else "") + ")")
+    lines.append(
+        f"    return ({value_expr}), {limbs_expr}, "
+        f"{trace.cycles!r}, {trace.instructions_retired}"
+    )
+    source = "\n".join(lines) + "\n"
+    namespace = {
+        "M": MASK64,
+        "_live": machine._aot_entry_cache,
+        "_regs": machine.state.regs._regs,
+        "_st": machine.state,
+    }
+    namespace.update(run.calls)
+    with _deep_recursion():
+        fn = _build(source, namespace, tag=f"{entry:#x}|entry",
+                    function="__aot_entry")
+    return AotEntry(
+        entry=entry,
+        fn=fn,
+        source=source,
+        persistable=run.persistable,
+        cycles=trace.cycles,
+        instructions_retired=trace.instructions_retired,
+        halts=trace.halts,
+        exit_pc=trace.exit_pc,
+    )
+
+
+def bind_entry_source(
+    machine: Machine,
+    entry: int,
+    source: str,
+    *,
+    cycles: int | None,
+    instructions: int,
+    halts: bool,
+    exit_pc: int,
+) -> AotEntry:
+    """Re-bind a persisted thunk source to *machine* (the warm-start
+    path: no trace compilation, no symbolic execution — just one
+    ``exec`` against a fresh machine-bound namespace).
+
+    Artifact sources are machine-independent by construction: they
+    reference only ``M`` and the ``_live``/``_regs``/``_st`` bindings
+    supplied here (non-persistable sources never reach the disk cache).
+    """
+    if f"_get({entry})" not in source:
+        raise AotError(
+            f"artifact source does not guard entry {entry:#x}; "
+            f"refusing a mismatched binding",
+            reason="codegen_error",
+        )
+    namespace = {
+        "M": MASK64,
+        "_live": machine._aot_entry_cache,
+        "_regs": machine.state.regs._regs,
+        "_st": machine.state,
+    }
+    fn = _build(source, namespace, tag=f"{entry:#x}|artifact",
+                function="__aot_entry")
+    return AotEntry(
+        entry=entry,
+        fn=fn,
+        source=source,
+        persistable=True,
+        cycles=cycles,
+        instructions_retired=instructions,
+        halts=halts,
+        exit_pc=exit_pc,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Machine-level compilation (Machine.run(engine="aot"))
+# ---------------------------------------------------------------------------
+
+_REGLIST = ", ".join(f"r{i}" for i in range(32))
+
+
+def compile_aot(machine: Machine, entry: int) -> AotFunction:
+    """Fuse the straight-line program at *entry*, memory-exactly.
+
+    Same symbolic core as :func:`compile_aot_entry`, but register
+    inputs stay live atoms and memory accesses stay runtime effects in
+    program order, so the function is a drop-in replacement for a jit
+    function: ``fn(regs, stack_top)`` leaves registers *and memory*
+    exactly as the interpreter would.
+
+    Raises :class:`AotError`; the caller demotes to the jit tier.
+    """
+    trace = _trace_or_refuse(machine, entry)
+    regs: list[_Node] = [_atom(f"r{i}") for i in range(32)]
+    regs[1] = _const(HALT_ADDRESS)
+    regs[2] = _atom("stack_top")
+    memory = _RuntimeMemory()
+    run = _SymbolicRun(regs, memory)
+    with _deep_recursion():
+        try:
+            for pc, ins, spec in trace.step_instructions:
+                run.step(pc, ins, spec)
+            roots: list[_Node] = []
+            for effect in memory.effects:
+                if effect[0] == "load":
+                    roots.append(effect[1])
+                else:
+                    roots.append(effect[1])
+                    roots.append(effect[2])
+            roots.extend(run.regs)
+            emitter = _Emitter(_count_uses(roots))
+            _emit_effects(emitter, memory.effects)
+            reg_refs = [emitter.ref(node) for node in run.regs]
+        except RecursionError as exc:
+            raise AotError(
+                f"expression graph for {entry:#x} is too deep to "
+                f"render",
+                reason="codegen_error",
+            ) from exc
+
+    lines = [
+        "def __aot_kernel(regs, stack_top):",
+        f"    ({_REGLIST}) = regs",
+    ]
+    for line in emitter.lines:
+        lines.append("    " + line)
+    lines.append(f"    regs[:] = ({', '.join(reg_refs)})")
+    source = "\n".join(lines) + "\n"
+    mem = machine.state.mem
+    namespace = {
+        "M": MASK64,
+        "load": mem.load,
+        "store": mem.store,
+    }
+    namespace.update(run.calls)
+    with _deep_recursion():
+        fn = _build(source, namespace, tag=f"{entry:#x}",
+                    function="__aot_kernel")
+    return AotFunction(
+        entry=entry,
+        fn=fn,
+        source=source,
+        namespace=namespace,
+        instructions_retired=trace.instructions_retired,
+        cycles=trace.cycles,
+        histogram=trace.histogram,
+        halts=trace.halts,
+        exit_pc=trace.exit_pc,
+    )

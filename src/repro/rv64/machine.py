@@ -34,7 +34,7 @@ HALT_ADDRESS = 0x0000_0000_DEAD_0000
 DEFAULT_STACK_TOP = 0x0000_0000_7FFF_F000
 
 #: The execution tiers of :meth:`Machine.run`, slowest to fastest.
-ENGINES = ("interpreter", "replay", "jit")
+ENGINES = ("interpreter", "replay", "jit", "aot")
 
 TraceHook = Callable[["MachineState", Instruction], None]
 
@@ -45,10 +45,11 @@ class ExecutionResult:
 
     ``engine`` names the execution engine that *actually* ran — one of
     :data:`ENGINES` — which matters because a requested engine silently
-    demotes down the jit → replay → interpreter ladder when exactness
-    cannot be guaranteed (trace hooks attached, non-replayable or
-    non-compilable program, ``setup_return=False``).  Telemetry and
-    profiling must consume this field rather than echo the request.
+    demotes down the aot → jit → replay → interpreter ladder when
+    exactness cannot be guaranteed (trace hooks attached,
+    non-replayable or non-compilable program, ``setup_return=False``).
+    Telemetry and profiling must consume this field rather than echo
+    the request.
     """
 
     instructions_retired: int
@@ -105,6 +106,17 @@ class Machine:
         # trace-JIT caches (see repro.rv64.jit)
         self._jit_cache: dict[int, object] = {}
         self._jit_rejected: set[int] = set()
+        # whole-kernel aot caches (see repro.rv64.aot):
+        # _aot_cache holds machine-level AotFunctions for run();
+        # _aot_entry_cache holds KernelRunner entry thunks and doubles
+        # as their liveness guard (popping an entry disables its thunk)
+        self._aot_cache: dict[int, object] = {}
+        self._aot_rejected: set[int] = set()
+        self._aot_entry_cache: dict[int, object] = {}
+        # on-disk artifact identity for the entry hosted by this
+        # machine, set by KernelRunner so invalidate_trace can drop
+        # the persisted copy too (see repro.rv64.artifacts)
+        self.aot_disk_key = None
 
     # -- program management ------------------------------------------------
 
@@ -126,6 +138,9 @@ class Machine:
         self._replay_rejected.clear()
         self._jit_cache.clear()
         self._jit_rejected.clear()
+        self._aot_cache.clear()
+        self._aot_rejected.clear()
+        self._aot_entry_cache.clear()
         return base
 
     def program_extent(self) -> tuple[int, int]:
@@ -209,10 +224,14 @@ class Machine:
           is left untouched);
         * ``"jit"`` additionally code-generates the trace into a single
           Python function (see :mod:`repro.rv64.jit`) — no per-step
-          closure dispatch at all, same bit-exact contract.
+          closure dispatch at all, same bit-exact contract;
+        * ``"aot"`` fuses the whole trace into wide-int expression
+          dataflow (see :mod:`repro.rv64.aot`) — address arithmetic and
+          mask setup constant-fold away, carry chains collapse into
+          fused expressions, same bit-exact contract.
 
-        A requested tier silently demotes down the jit → replay →
-        interpreter ladder whenever exactness cannot be guaranteed —
+        A requested tier silently demotes down the aot → jit → replay
+        → interpreter ladder whenever exactness cannot be guaranteed —
         internal control flow, trace hooks, cache-enabled timing,
         ``setup_return=False``, a codegen refusal; the result's
         ``engine`` field reports what actually ran.
@@ -223,6 +242,17 @@ class Machine:
             raise SimulationError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
+        if engine == "aot":
+            if self._trace_hooks:
+                telemetry.record_aot_demotion("trace_hooks")
+            elif not setup_return:
+                telemetry.record_aot_demotion("no_setup_return")
+            else:
+                aotfn = self._aot_for(entry)
+                if aotfn is not None:
+                    return self._run_aot(aotfn, stack_top)
+                telemetry.record_aot_demotion("not_compilable")
+            engine = "jit"  # demote one rung; jit re-checks below
         if engine == "jit":
             if self._trace_hooks:
                 telemetry.record_jit_demotion("trace_hooks")
@@ -354,6 +384,39 @@ class Machine:
             # jit_cache_hits_total sample (that counter counts runs)
         return self._jit_for(entry) is not None
 
+    def _aot_for(self, entry: int):
+        """Compile (once) and cache the fused aot function for *entry*."""
+        aotfn = self._aot_cache.get(entry)
+        if aotfn is not None:
+            telemetry.record_aot_cache_hit()
+            return aotfn
+        if entry in self._aot_rejected:
+            return None
+        from repro.rv64.aot import AotError, compile_aot
+
+        start = perf_counter()
+        try:
+            aotfn = compile_aot(self, entry)
+        except AotError as exc:
+            telemetry.record_aot_reject(exc.reason)
+            self._aot_rejected.add(entry)
+            return None
+        telemetry.record_aot_compile(perf_counter() - start)
+        self._aot_cache[entry] = aotfn
+        return aotfn
+
+    def aot_supported(self, entry: int) -> bool:
+        """Whether the program at *entry* fuses into an aot function.
+
+        An entry thunk bound from a disk artifact counts as supported
+        *without* compiling the machine-level function — compiling it
+        would need the replay trace, defeating the warm start the
+        artifact exists to provide.
+        """
+        if entry in self._aot_cache or entry in self._aot_entry_cache:
+            return True  # capability probe, not a served run
+        return self._aot_for(entry) is not None
+
     def invalidate_trace(self, entry: int) -> bool:
         """Drop the cached replay trace for *entry*; returns whether one
         was cached.
@@ -361,16 +424,28 @@ class Machine:
         This is the recovery primitive of the hardened execution layer
         (see ``docs/ROBUSTNESS.md``): a trace suspected of corruption is
         invalidated and the next fast-tier run recompiles it from the
-        (immutable) program image.  The compiled jit function is
-        dropped alongside the trace — it was generated *from* the
-        suspect trace, so restoring trust means evicting both tiers.
-        A previous rejection is also forgotten, so a once-unreplayable
-        entry gets re-examined.
+        (immutable) program image.  The compiled jit and aot functions
+        are dropped alongside the trace — they were generated *from*
+        the suspect trace, so restoring trust means evicting every
+        derived tier, including the entry's on-disk aot artifact (the
+        persisted copy is just the compiled tier serialised).  Previous
+        rejections are also forgotten, so a once-unreplayable entry
+        gets re-examined.
         """
         self._replay_rejected.discard(entry)
         self._jit_rejected.discard(entry)
+        self._aot_rejected.discard(entry)
         if self._jit_cache.pop(entry, None) is not None:
             telemetry.record_jit_evicted()
+        dropped_aot = self._aot_cache.pop(entry, None) is not None
+        if self._aot_entry_cache.pop(entry, None) is not None:
+            dropped_aot = True
+        if dropped_aot:
+            telemetry.record_aot_evicted()
+        if self.aot_disk_key is not None:
+            from repro.rv64.artifacts import invalidate_artifact
+
+            invalidate_artifact(self.aot_disk_key)
         removed = self._trace_cache.pop(entry, None) is not None
         if removed:
             telemetry.record_trace_invalidated()
@@ -414,4 +489,22 @@ class Machine:
                 else Counter()
             ),
             engine="jit",
+        )
+
+    def _run_aot(self, aotfn, stack_top: int) -> ExecutionResult:
+        """Execute a fused aot function; mirrors one jit run."""
+        state = self.state
+        aotfn.fn(state.regs._regs, stack_top)
+        state.pc = aotfn.exit_pc
+        state.halted = aotfn.halts
+        telemetry.record_machine_run("aot")
+        return ExecutionResult(
+            instructions_retired=aotfn.instructions_retired,
+            cycles=aotfn.cycles,
+            histogram=(
+                Counter(aotfn.histogram)
+                if self.collect_histogram
+                else Counter()
+            ),
+            engine="aot",
         )

@@ -17,7 +17,7 @@ model:
   confined to its pool scope — two concurrent sessions can never
   share mutable simulator state (``tests/service/``).
 
-Faults and overload walk tenants down the ``jit -> replay ->
+Faults and overload walk tenants down the ``aot -> jit -> replay ->
 interpreter`` ladder (:mod:`repro.service.tenancy`); a faulting
 operation is retried on the next rung down, so a poisoned compiled
 artifact degrades the one tenant's latency instead of failing its
@@ -65,7 +65,8 @@ from repro.service.tenancy import (
 FIELD_OPS = {"mul": 2, "sqr": 1, "add": 2, "sub": 2}
 
 #: Tenant saturation (inflight / capacity) at which an admitted
-#: request triggers an overload demotion (jit -> replay only).
+#: request triggers an overload demotion (never below the replay
+#: floor; see tenancy.OVERLOAD_FLOOR).
 DEFAULT_OVERLOAD_THRESHOLD = 0.9
 
 #: Completed-request latencies kept for the ``stats`` percentiles

@@ -12,18 +12,20 @@ machine (see :func:`repro.kernels.registry.cached_runner`).
 
 **Degradation ladder.**  Each tenant starts on its preferred engine
 (default ``jit``) and demotes one rung at a time down
-``jit -> replay -> interpreter``:
+``aot -> jit -> replay -> interpreter``:
 
 * on a *fault* — a detected divergence, an exhausted recovery, or a
   simulator crash surfacing from the tenant's own runners — because a
-  corrupted compiled artifact (trace or jit function) is the prime
-  suspect and the lower tiers re-derive everything from pristine
-  kernel source;
-* on *overload* — a saturated admission queue — but only from ``jit``
-  to ``replay``: jit compilation of a cold kernel is a latency spike
-  exactly when the queue can least afford one.  Overload never demotes
-  below ``replay`` (the interpreter is strictly slower and would only
-  deepen the backlog).
+  corrupted compiled artifact (trace, jit function, or aot thunk) is
+  the prime suspect and the lower tiers re-derive everything from
+  pristine kernel source (invalidation drops the on-disk aot artifact
+  too, so recovery never reloads a suspect copy);
+* on *overload* — a saturated admission queue — but only down to
+  ``replay``: aot/jit compilation of a cold kernel is a latency spike
+  exactly when the queue can least afford one (an aot tenant whose
+  artifacts are warm in the disk cache skips that spike).  Overload
+  never demotes below ``replay`` (the interpreter is strictly slower
+  and would only deepen the backlog).
 
 After :attr:`TenantConfig.promote_after` consecutive clean operations
 the tenant is promoted one rung back toward its preference.  Hardened
@@ -49,7 +51,7 @@ from repro.kernels.runner import DEFAULT_CHECK_INTERVAL
 from repro.rv64.machine import ENGINES
 
 #: The demotion ladder, fastest first (mirrors Machine's tiers).
-ENGINE_LADDER = ("jit", "replay", "interpreter")
+ENGINE_LADDER = ("aot", "jit", "replay", "interpreter")
 
 #: Overload demotions stop here: dropping to the interpreter would
 #: slow the tenant down ~5x and deepen the very backlog that

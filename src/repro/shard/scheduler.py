@@ -103,13 +103,20 @@ class ShardExecutor:
         self._prewarm()
 
     def _prewarm(self) -> None:
-        """Warm the kernel/JIT caches in the parent before forking."""
+        """Warm the kernel and compiled-tier caches before forking.
+
+        For the aot tier this also populates the persistent on-disk
+        artifact cache (:mod:`repro.rv64.artifacts`): the forked
+        workers' runners then bind the persisted thunk sources instead
+        of re-tracing per process.
+        """
         cached_kernels(self.plan.p)
-        if self.plan.kind == "action" and self.engine == "jit":
+        if self.plan.kind == "action" and self.engine in ("jit", "aot"):
             from repro.field.simulated import SimulatedFieldContext
 
             field = SimulatedFieldContext(
-                self.plan.p, variant=self.plan.variant, engine="jit")
+                self.plan.p, variant=self.plan.variant,
+                engine=self.engine)
             one = field.mul(2, 3)
             field.sqr(one)
             field.add(one, one)

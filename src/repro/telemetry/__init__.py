@@ -52,6 +52,10 @@ __all__ = [
     "record_trace_reject",
     "record_jit_compile", "record_jit_reject", "record_jit_demotion",
     "record_jit_cache_hit", "record_jit_evicted",
+    "record_aot_compile", "record_aot_reject", "record_aot_demotion",
+    "record_aot_cache_hit", "record_aot_evicted",
+    "record_artifact_cache_hit", "record_artifact_cache_miss",
+    "record_artifact_cache_write", "record_artifact_invalidated",
     "record_fault_injected", "record_fault_detected",
     "record_fault_recovery", "record_checked_run",
     "record_runner_evicted", "record_trace_invalidated",
@@ -299,6 +303,94 @@ def record_jit_evicted() -> None:
         return
     REGISTRY.counter(
         "jit_evictions_total", "compiled jit functions evicted"
+    ).inc()
+
+
+# -- the aot tier and its persistent artifact cache -------------------------
+# (see repro.rv64.aot / repro.rv64.artifacts and docs/SIMULATOR.md)
+
+
+def record_aot_compile(seconds: float) -> None:
+    """A successful whole-kernel aot fusion, with its wall-clock cost."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter("aot_compiles_total", "aot functions compiled").inc()
+    REGISTRY.histogram(
+        "aot_compile_seconds", "whole-kernel aot fusion wall time"
+    ).observe(seconds)
+
+
+def record_aot_reject(reason: str) -> None:
+    """An aot fusion refusal, by :class:`AotError` reason."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "aot_rejects_total", "aot compilation refusals"
+    ).inc(reason=reason)
+
+
+def record_aot_demotion(reason: str) -> None:
+    """A requested aot run demoted down the engine ladder, by reason."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "aot_demotions_total",
+        "aot requests demoted to jit/replay/interpreter",
+    ).inc(reason=reason)
+
+
+def record_aot_cache_hit() -> None:
+    """An aot run served by an already-compiled function."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "aot_cache_hits_total", "aot function cache hits"
+    ).inc()
+
+
+def record_aot_evicted() -> None:
+    """A compiled aot function dropped by Machine.invalidate_trace."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "aot_evictions_total", "compiled aot functions evicted"
+    ).inc()
+
+
+def record_artifact_cache_hit() -> None:
+    """An on-disk aot artifact loaded and validated (warm start)."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "aot_artifact_hits_total", "on-disk aot artifact cache hits"
+    ).inc()
+
+
+def record_artifact_cache_miss() -> None:
+    """An on-disk aot artifact lookup that found nothing usable."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "aot_artifact_misses_total", "on-disk aot artifact cache misses"
+    ).inc()
+
+
+def record_artifact_cache_write() -> None:
+    """A compiled aot thunk persisted to the on-disk artifact cache."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "aot_artifact_writes_total", "on-disk aot artifacts written"
+    ).inc()
+
+
+def record_artifact_invalidated() -> None:
+    """An on-disk artifact deleted (corruption, skew, or fault recovery)."""
+    if not TRACER.enabled:
+        return
+    REGISTRY.counter(
+        "aot_artifact_invalidations_total",
+        "on-disk aot artifacts invalidated",
     ).inc()
 
 

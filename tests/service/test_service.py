@@ -105,7 +105,7 @@ class TestEngineLadder:
         assert tenant.promotions == 0
 
     def test_ladder_order_is_fastest_first(self):
-        assert ENGINE_LADDER == ("jit", "replay", "interpreter")
+        assert ENGINE_LADDER == ("aot", "jit", "replay", "interpreter")
 
     def test_scope_prefix_separates_services(self, toy):
         config = TenantConfig("t", lanes=2)

@@ -115,15 +115,19 @@ class TestFaultsCommand:
 class TestBenchCommand:
     """``repro bench``: the engine-comparison benchmark."""
 
-    def test_bench_all_engines_with_trajectory(self, tmp_path, capsys):
+    def test_bench_all_engines_with_trajectory(self, tmp_path, capsys,
+                                               monkeypatch):
+        # keep the aot cold/warm phase out of the user's real cache dir
+        monkeypatch.setenv("REPRO_AOT_CACHE", str(tmp_path / "aot"))
         out_path = tmp_path / "BENCH_protocol.json"
         assert main(["bench", "--params", "toy", "--engine", "all",
                      "--rounds", "1", "--batch", "8",
                      "--bench-out", str(out_path)]) == 0
         out = capsys.readouterr().out
-        for engine in ("interpreter", "replay", "jit"):
+        for engine in ("interpreter", "replay", "jit", "aot"):
             assert engine in out
         assert "mul_batch" in out
+        assert "aot first  start" in out
 
         import json as json_module
         document = json_module.loads(out_path.read_text())
@@ -131,10 +135,16 @@ class TestBenchCommand:
         record = document["runs"][-1]
         assert record["mode"] == "engine_comparison"
         assert set(record["engines"]) \
-            == {"interpreter", "replay", "jit"}
+            == {"interpreter", "replay", "jit", "aot"}
         for row in record["engines"].values():
             assert row["wall_s"] > 0
         assert record["batch"]["jit"]["n"] == 8
+        # within one invocation the second phase binds the artifacts
+        # the first phase just wrote
+        start = record["aot_start"]
+        assert start["first"]["artifact_writes"] > 0
+        assert start["second"]["artifact_hits"] > 0
+        assert start["second"]["compiles"] == 0
 
     def test_bench_single_engine_no_batch(self, capsys):
         assert main(["bench", "--params", "toy", "--engine", "replay",

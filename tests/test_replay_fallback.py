@@ -21,6 +21,13 @@ the jit → replay → interpreter ladder
 refusal counter (``jit_rejects_total{reason=...}``), the demotion
 counter (``jit_demotions_total{reason=...}``), the engine that
 actually ran, and bit-for-bit agreement with the plain interpreter.
+
+The third section covers the top rung: every
+:class:`~repro.rv64.aot.AotError` reason and every demotion reason on
+the aot → jit → replay → interpreter ladder
+(:data:`repro.rv64.aot.DEMOTION_REASONS`) gets the same treatment —
+``aot_rejects_total{reason=...}``, ``aot_demotions_total{reason=...}``,
+the engine that served the run, and exactness against the interpreter.
 """
 
 from __future__ import annotations
@@ -39,6 +46,9 @@ from repro.rv64.pipeline import (
     ROCKET_CONFIG,
     ROCKET_CONFIG_WITH_CACHES,
 )
+from repro.mpi.representation import Radix
+from repro.rv64 import aot as aot_module
+from repro.rv64.aot import AotError, compile_aot, compile_aot_entry
 from repro.rv64 import jit as jit_module
 from repro.rv64.jit import DEMOTION_REASONS, JitError, compile_jit
 from repro.rv64.machine import HALT_ADDRESS
@@ -325,3 +335,219 @@ def test_every_declared_jit_reason_is_covered():
                             r'not_compilable|trace_hooks|'
                             r'no_setup_return)"', source))
     assert tested == set(JitError.REASONS) | set(DEMOTION_REASONS)
+
+
+# ---------------------------------------------------------------------------
+# aot demotion ladder: aot → jit → replay → interpreter
+# ---------------------------------------------------------------------------
+
+
+def _entry_thunk_kwargs():
+    """Minimal one-operand entry-thunk shape for refusal tests."""
+    return dict(
+        arg_plan=((0x10000, 1, 10),),  # one limb at 0x10000 in a0
+        result_reg=11,                 # result pointer in a1
+        result_addr=0x10200,
+        out_limbs=1,
+        radix=Radix(64, 1),
+        const_window=(0, 0),
+    )
+
+
+class TestAotNotReplayable:
+    """Unreplayable programs refuse fusion for the same root cause,
+    and an aot request demotes all the way to the interpreter."""
+
+    SOURCE = TestControlFlow.SOURCE
+
+    def test_rejected(self):
+        machine, entry = _machine(self.SOURCE)
+        with pytest.raises(AotError) as excinfo:
+            compile_aot(machine, entry)
+        assert excinfo.value.reason == "not_replayable"
+        assert excinfo.value.code == "aot"
+
+    def test_demotes_to_interpreter_bit_for_bit(self):
+        with telemetry.capture(fresh=True) as cap:
+            machine, entry = _machine(self.SOURCE)
+            result = machine.run(entry, engine="aot")
+        plain, entry2 = _machine(self.SOURCE)
+        expected = plain.run(entry2)
+
+        assert result.engine == "interpreter"
+        assert result.instructions_retired \
+            == expected.instructions_retired
+        assert result.cycles == expected.cycles
+        assert machine.regs.snapshot() == plain.regs.snapshot()
+
+        rejects = cap.registry.counter("aot_rejects_total")
+        assert rejects.value(reason="not_replayable") == 1
+        demotions = cap.registry.counter("aot_demotions_total")
+        assert demotions.value(reason="not_compilable") == 1
+        # ...and every rung below then refuses/falls back in turn
+        jit_rejects = cap.registry.counter("jit_rejects_total")
+        assert jit_rejects.value(reason="not_replayable") == 1
+        fallbacks = cap.registry.counter("replay_fallback_total")
+        assert fallbacks.value(reason="not_replayable") == 1
+
+
+class TestAotUnsupportedOp:
+    """A mnemonic with no registered expression and no extractable
+    R/I-format lambda refuses fusion; the jit rung serves the run."""
+
+    SOURCE = """
+        addi t0, zero, 3
+        addi t1, zero, 4
+        addi t2, zero, 5
+        maddlu a0, t0, t1, t2
+        ret
+    """
+
+    def test_rejected_and_jit_serves(self):
+        original = aot_module._EXPRS.pop("maddlu")
+        try:
+            machine, entry = _machine(self.SOURCE)
+            with pytest.raises(AotError) as excinfo:
+                compile_aot(machine, entry)
+            assert excinfo.value.reason == "unsupported_op"
+
+            with telemetry.capture(fresh=True) as cap:
+                machine2, entry2 = _machine(self.SOURCE)
+                result = machine2.run(entry2, engine="aot")
+            assert result.engine == "jit"
+            assert machine2.regs["a0"] == 3 * 4 + 5
+            rejects = cap.registry.counter("aot_rejects_total")
+            assert rejects.value(reason="unsupported_op") == 1
+            demotions = cap.registry.counter("aot_demotions_total")
+            assert demotions.value(reason="not_compilable") == 1
+        finally:
+            aot_module._EXPRS["maddlu"] = original
+
+
+class TestAotDynamicAddress:
+    """A load whose address depends on loaded data cannot be fused
+    into a static entry thunk."""
+
+    SOURCE = """
+        ld t0, 0(a0)
+        ld t1, 0(t0)
+        sd t1, 0(a1)
+        ret
+    """
+
+    def test_entry_thunk_rejected(self):
+        machine, entry = _machine(self.SOURCE)
+        with pytest.raises(AotError) as excinfo:
+            compile_aot_entry(machine, entry, **_entry_thunk_kwargs())
+        assert excinfo.value.reason == "dynamic_address"
+
+
+class TestAotUnsupportedAccess:
+    """Sub-word accesses (and reads outside the operand spans / const
+    pool) refuse entry-thunk fusion."""
+
+    SOURCE = """
+        lb t0, 0(a0)
+        sd t0, 0(a1)
+        ret
+    """
+
+    def test_entry_thunk_rejected(self):
+        machine, entry = _machine(self.SOURCE)
+        with pytest.raises(AotError) as excinfo:
+            compile_aot_entry(machine, entry, **_entry_thunk_kwargs())
+        assert excinfo.value.reason == "unsupported_access"
+
+
+class TestAotCodegenError:
+    """A broken expression template fails to fold/compile: aot refuses
+    with ``codegen_error`` and demotes ONE rung — the trace is healthy,
+    so the jit tier serves the run."""
+
+    def test_rejected_and_jit_serves(self):
+        original = aot_module._EXPRS.get("addi")
+        aot_module._EXPRS["addi"] = ("i", "r1 = = broken(")
+        try:
+            machine, entry = _machine(_STRAIGHT)
+            with pytest.raises(AotError) as excinfo:
+                compile_aot(machine, entry)
+            assert excinfo.value.reason == "codegen_error"
+
+            with telemetry.capture(fresh=True) as cap:
+                machine2, entry2 = _machine(_STRAIGHT)
+                result = machine2.run(entry2, engine="aot")
+            assert result.engine == "jit"
+            assert machine2.regs["a0"] == 42
+            rejects = cap.registry.counter("aot_rejects_total")
+            assert rejects.value(reason="codegen_error") == 1
+            demotions = cap.registry.counter("aot_demotions_total")
+            assert demotions.value(reason="not_compilable") == 1
+        finally:
+            if original is None:
+                aot_module._EXPRS.pop("addi", None)
+            else:
+                aot_module._EXPRS["addi"] = original
+
+
+class TestAotTraceHooks:
+    """An attached trace hook demotes the whole fused tier so the hook
+    observes every retired instruction."""
+
+    def test_demotes_and_hook_fires(self):
+        machine, entry = _machine(_STRAIGHT)
+        seen = []
+        machine.add_trace_hook(lambda state, ins: seen.append(
+            ins.mnemonic))
+        with telemetry.capture(fresh=True) as cap:
+            result = machine.run(entry, engine="aot")
+        assert result.engine == "interpreter"
+        assert len(seen) == result.instructions_retired
+        demotions = cap.registry.counter("aot_demotions_total")
+        assert demotions.value(reason="trace_hooks") == 1
+        assert machine.regs["a0"] == 42
+
+
+class TestAotNoSetupReturn:
+    """``setup_return=False`` means the caller owns ra/sp; the fused
+    thunk bakes the from-reset contract in and must demote."""
+
+    def test_demotes_and_matches_interpreter(self):
+        machine, entry = _machine(_STRAIGHT)
+        machine.state.regs.write("ra", HALT_ADDRESS)
+        with telemetry.capture(fresh=True) as cap:
+            result = machine.run(entry, setup_return=False,
+                                 engine="aot")
+        plain, entry2 = _machine(_STRAIGHT)
+        plain.state.regs.write("ra", HALT_ADDRESS)
+        expected = plain.run(entry2, setup_return=False)
+
+        assert result.engine == "interpreter"
+        assert result.cycles == expected.cycles
+        assert machine.regs.snapshot() == plain.regs.snapshot()
+        demotions = cap.registry.counter("aot_demotions_total")
+        assert demotions.value(reason="no_setup_return") == 1
+
+
+def test_aot_rejection_is_cached_not_retried():
+    """A refused entry is remembered; later aot requests demote
+    without re-running the fuser."""
+    with telemetry.capture(fresh=True) as cap:
+        machine, entry = _machine(TestControlFlow.SOURCE)
+        machine.run(entry, engine="aot")
+        machine.run(entry, engine="aot")
+        rejects = cap.registry.counter("aot_rejects_total")
+        assert rejects.value(reason="not_replayable") == 1
+        demotions = cap.registry.counter("aot_demotions_total")
+        assert demotions.value(reason="not_compilable") == 2
+
+
+def test_every_declared_aot_reason_is_covered():
+    """A new AotError.reason or aot demotion reason cannot land
+    without its ladder test in this file."""
+    source = open(__file__, encoding="utf-8").read()
+    tested = set(re.findall(r'"(not_replayable|unsupported_op|'
+                            r'dynamic_address|unsupported_access|'
+                            r'codegen_error|not_compilable|'
+                            r'trace_hooks|no_setup_return)"', source))
+    assert tested == (set(AotError.REASONS)
+                      | set(aot_module.DEMOTION_REASONS))
